@@ -1,0 +1,277 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per artifact. Each runs its experiment at a reduced
+// scale (benchScale) per iteration and reports the headline quantity
+// of that artifact as a custom metric, so `go test -bench=.` both
+// exercises the full pipeline and prints the reproduced values.
+// cmd/experiments -scale 1 produces the paper-scale numbers recorded in
+// EXPERIMENTS.md.
+package diskpack
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"diskpack/internal/core"
+	"diskpack/internal/exp"
+)
+
+// benchScale keeps a full experiment sweep around a second per
+// iteration.
+const benchScale = 0.05
+
+func benchOpts() exp.Options { return exp.Options{Scale: benchScale, Seed: 1} }
+
+// BenchmarkTable1 regenerates the Table 1 workload parameters and
+// reports the realized total space requirement (paper: 12.86 TB).
+func BenchmarkTable1(b *testing.B) {
+	var totalTB float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Table1(exp.Options{Scale: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalTB = t.Rows[3][2]
+	}
+	b.ReportMetric(totalTB, "total-TB")
+}
+
+// BenchmarkTable2 regenerates the drive model constants and reports the
+// derived break-even idleness threshold (paper: 53.3 s).
+func BenchmarkTable2(b *testing.B) {
+	var breakEven float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Table2(exp.Options{Scale: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		breakEven = t.Rows[10][2]
+	}
+	b.ReportMetric(breakEven, "break-even-s")
+}
+
+// BenchmarkFigure2 regenerates the power-saving-vs-R sweep and reports
+// the saving ratio at R=4, L=80% (paper: >0.6 for R ≤ 4).
+func BenchmarkFigure2(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		f2, _, err := exp.Fig23(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, _ := f2.Column("L=80%")
+		saving = col[3] // R = 4
+	}
+	b.ReportMetric(saving, "saving@R4L80")
+}
+
+// BenchmarkFigure3 regenerates the response-time-ratio sweep and
+// reports the ratio at R=6, L=80% (paper: ratios within 0.5–2.5).
+func BenchmarkFigure3(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		_, f3, err := exp.Fig23(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, _ := f3.Column("L=80%")
+		ratio = col[5] // R = 6
+	}
+	b.ReportMetric(ratio, "resp-ratio@R6L80")
+}
+
+// BenchmarkFigure4 regenerates the power/response trade-off versus L at
+// R=6 and reports the power spread between L=0.4 and L=0.9 (paper:
+// power falls as L rises).
+func BenchmarkFigure4(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		f4, err := exp.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		power, _ := f4.Column("Power(W)")
+		drop = power[0] - power[len(power)-1]
+	}
+	b.ReportMetric(drop, "power-drop-W")
+}
+
+// BenchmarkFigure5 regenerates the power-saving-vs-threshold sweep on
+// the NERSC workload and reports Pack_Disk's saving at the 0.5 h
+// threshold (paper: ≈0.85 on a 96-disk farm).
+func BenchmarkFigure5(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		f5, _, err := exp.Fig56(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, _ := f5.Column("Pack_Disk")
+		saving = col[4] // 0.5 h
+	}
+	b.ReportMetric(saving, "saving@0.5h")
+}
+
+// BenchmarkFigure6 regenerates the response-time-vs-threshold sweep and
+// reports RND's mean response at the 0.5 h threshold (paper: ≈10 s,
+// the threshold needed to keep random placement under 10 s).
+func BenchmarkFigure6(b *testing.B) {
+	var resp float64
+	for i := 0; i < b.N; i++ {
+		_, f6, err := exp.Fig56(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, _ := f6.Column("RND")
+		resp = col[4] // 0.5 h
+	}
+	b.ReportMetric(resp, "RND-resp-s@0.5h")
+}
+
+// BenchmarkVSweep regenerates the Pack_Disk_v ablation (paper: v = 4
+// ideal) and reports the response-time gain of v=4 over v=1. It runs
+// at a larger scale than the other benches: on a farm of fewer than
+// ~10 disks the group variant spreads over the whole farm and the
+// comparison loses meaning.
+func BenchmarkVSweep(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.VSweep(exp.Options{Scale: 0.15, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, _ := t.Column("RespTime(s)")
+		gain = resp[0] - resp[3] // v=1 minus v=4
+	}
+	b.ReportMetric(gain, "v4-resp-gain-s")
+}
+
+// BenchmarkPackQuality regenerates the allocator comparison and reports
+// Pack_Disks' gap to the lower bound at L=0.7 (Theorem 1 in practice).
+func BenchmarkPackQuality(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.PackQuality(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, _ := t.Column("LowerBound")
+		pd, _ := t.Column("Pack_Disks")
+		gap = pd[3] - lb[3]
+	}
+	b.ReportMetric(gap, "disks-over-LB@L0.7")
+}
+
+// BenchmarkPolicies regenerates the spin-down policy ablation and
+// reports the spin-up reduction of the adaptive policy vs the fixed
+// break-even threshold under Pack_Disks.
+func BenchmarkPolicies(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Policies(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spin, _ := t.Column("Pack:spinups")
+		if spin[2] > 0 {
+			reduction = 1 - spin[3]/spin[2] // adaptive vs break-even
+		}
+	}
+	b.ReportMetric(reduction, "adaptive-spinup-cut")
+}
+
+// BenchmarkAnalysis regenerates the analytic-vs-simulated validation
+// and reports the worst relative power error across the L sweep.
+func BenchmarkAnalysis(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Analysis(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, _ := t.Column("PredPower(W)")
+		sim, _ := t.Column("SimPower(W)")
+		worst = 0
+		for j := range pred {
+			rel := (pred[j] - sim[j]) / sim[j]
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "max-power-err-%")
+}
+
+// BenchmarkReorg regenerates the semi-dynamic reorganization
+// comparison at full scale (cheap: packing dominates) and reports the
+// migration saving of the incremental §6 rule over full repacking.
+func BenchmarkReorg(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Reorg(exp.Options{Scale: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mig, _ := t.Column("MigratedGB")
+		if mig[1] > 0 {
+			ratio = mig[2] / mig[1] // incremental / full
+		}
+	}
+	b.ReportMetric(ratio, "incr-migration-frac")
+}
+
+// packingInstance builds the skewed instance used by the complexity
+// benchmarks (interleaved size- and load-heavy items trigger the
+// eviction path).
+func packingInstance(n int) []Item {
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	for i := range items {
+		if i%2 == 0 {
+			items[i] = Item{ID: i, Size: 0.02 + 0.28*rng.Float64(), Load: 0.01 * rng.Float64()}
+		} else {
+			items[i] = Item{ID: i, Size: 0.01 * rng.Float64(), Load: 0.02 + 0.28*rng.Float64()}
+		}
+	}
+	return items
+}
+
+// BenchmarkPackDisksScaling exercises the Section 3 complexity claim:
+// Pack_Disks is O(n log n).
+func BenchmarkPackDisksScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 40000} {
+		items := packingInstance(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Pack(items); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChangHwangParkScaling is the O(n²) comparator Pack_Disks
+// improves upon.
+func BenchmarkChangHwangParkScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 40000} {
+		items := packingInstance(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ChangHwangPark(items); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1000 && n%1000 == 0 {
+		return strconv.Itoa(n/1000) + "k"
+	}
+	return strconv.Itoa(n)
+}

@@ -1,0 +1,143 @@
+// Command diskpack allocates the files of a trace to disks with a
+// chosen algorithm and reports the packing quality (disks used, lower
+// bound, Theorem 1 ceiling, per-disk fill).
+//
+// Usage:
+//
+//	diskpack -trace nersc.trace -algo pack -L 0.7
+//	diskpack -trace synth.trace -algo pack4 -L 0.5 -assign out.map
+//	diskpack -trace synth.trace -algo ffd -L 0.8 -empirical
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace file (required)")
+		algo      = flag.String("algo", "pack", "allocator: pack, pack2, pack4, pack8, chp, ffd, firstfit, bestfit, random")
+		capL      = flag.Float64("L", 0.7, "load constraint as fraction of disk transfer capability")
+		farm      = flag.Int("disks", 0, "random: farm size (0 = same as pack)")
+		seed      = flag.Int64("seed", 1, "random: seed")
+		empirical = flag.Bool("empirical", false, "use measured per-file rates instead of stored ones")
+		assignOut = flag.String("assign", "", "write file→disk map (one disk number per line)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *empirical {
+		tr.SetEmpiricalRates()
+	}
+	params := disk.DefaultParams()
+	sizes := make([]int64, len(tr.Files))
+	rates := make([]float64, len(tr.Files))
+	for i, fi := range tr.Files {
+		sizes[i] = fi.Size
+		rates[i] = fi.Rate
+	}
+	items, err := core.BuildItems(sizes, rates, params.ServiceTime, params.CapacityBytes, *capL)
+	if err != nil {
+		fatal(err)
+	}
+
+	var a *core.Assignment
+	switch *algo {
+	case "pack":
+		a, err = core.PackDisks(items)
+	case "pack2":
+		a, err = core.PackDisksV(items, 2)
+	case "pack4":
+		a, err = core.PackDisksV(items, 4)
+	case "pack8":
+		a, err = core.PackDisksV(items, 8)
+	case "chp":
+		a, err = core.ChangHwangPark(items)
+	case "ffd":
+		a, err = core.FirstFitDecreasing(items)
+	case "firstfit":
+		a, err = core.FirstFit(items)
+	case "bestfit":
+		a, err = core.BestFit(items)
+	case "random":
+		n := *farm
+		if n == 0 {
+			ref, err2 := core.PackDisks(items)
+			if err2 != nil {
+				fatal(err2)
+			}
+			n = ref.NumDisks
+		}
+		a, err = core.RandomAssignCapacity(items, n, rand.New(rand.NewSource(*seed)))
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	lb := core.LowerBoundDisks(items)
+	rho := core.Rho(items)
+	fmt.Printf("algorithm        %s\n", *algo)
+	fmt.Printf("files            %d\n", len(items))
+	fmt.Printf("disks used       %d\n", a.NumDisks)
+	fmt.Printf("lower bound      %d\n", lb)
+	fmt.Printf("rho              %.4f\n", rho)
+	fmt.Printf("theorem-1 bound  %.1f\n", core.ApproxBound(items))
+	sizesSum, loadsSum := a.Totals(items)
+	var maxS, maxL, avgS, avgL float64
+	for d := range sizesSum {
+		if sizesSum[d] > maxS {
+			maxS = sizesSum[d]
+		}
+		if loadsSum[d] > maxL {
+			maxL = loadsSum[d]
+		}
+		avgS += sizesSum[d]
+		avgL += loadsSum[d]
+	}
+	n := float64(a.NumDisks)
+	fmt.Printf("fill size        avg %.3f max %.3f\n", avgS/n, maxS)
+	fmt.Printf("fill load        avg %.3f max %.3f\n", avgL/n, maxL)
+
+	if *assignOut != "" {
+		out, err := os.Create(*assignOut)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(out)
+		for _, d := range a.DiskOf {
+			fmt.Fprintln(w, d)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("assignment       written to %s\n", *assignOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diskpack:", err)
+	os.Exit(1)
+}

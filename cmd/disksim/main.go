@@ -1,0 +1,182 @@
+// Command disksim runs one disk-farm simulation: a trace, an allocation
+// (from a map file or computed on the fly), an idleness threshold, and
+// an optional LRU cache, reporting energy and response-time metrics.
+//
+// Usage:
+//
+//	disksim -trace nersc.trace -algo pack -L 0.7 -threshold 1800
+//	disksim -trace synth.trace -algo random -disks 100 -threshold breakeven
+//	disksim -trace nersc.trace -assign out.map -disks 96 -cache 16e9
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace file (required)")
+		assignIn  = flag.String("assign", "", "file→disk map (one disk per line); overrides -algo")
+		algo      = flag.String("algo", "pack", "allocator when -assign is absent: pack, pack4, random")
+		capL      = flag.Float64("L", 0.7, "load constraint for packing")
+		farm      = flag.Int("disks", 0, "farm size (0 = as many as the allocation uses)")
+		threshold = flag.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', or 'never'")
+		cacheB    = flag.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
+		seed      = flag.Int64("seed", 1, "seed for random placement")
+		verbose   = flag.Bool("v", false, "per-disk breakdown")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var assign []int
+	if *assignIn != "" {
+		assign, err = readAssign(*assignIn)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		assign, err = allocate(tr, *algo, *capL, *farm, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	numDisks := *farm
+	for _, d := range assign {
+		if d+1 > numDisks {
+			numDisks = d + 1
+		}
+	}
+
+	th := 0.0
+	switch *threshold {
+	case "breakeven":
+		th = storage.BreakEven
+	case "never":
+		th = disk.NeverSpinDown
+	default:
+		th, err = strconv.ParseFloat(*threshold, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -threshold: %w", err))
+		}
+	}
+
+	res, err := storage.Run(tr, assign, storage.Config{
+		NumDisks:      numDisks,
+		IdleThreshold: th,
+		CacheBytes:    int64(*cacheB),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("farm              %d disks, threshold %s\n", numDisks, *threshold)
+	fmt.Printf("energy            %.3e J over %.0f s (avg %.1f W)\n", res.Energy, res.Duration, res.AvgPower)
+	fmt.Printf("no-saving energy  %.3e J\n", res.NoSavingEnergy)
+	fmt.Printf("power saving      %.1f%%\n", res.PowerSavingRatio*100)
+	fmt.Printf("response time     mean %.2f s  median %.2f s  p95 %.2f s  p99 %.2f s  max %.2f s\n",
+		res.RespMean, res.RespMedian, res.RespP95, res.RespP99, res.RespMax)
+	fmt.Printf("requests          %d completed, %d unfinished\n", res.Completed, res.Unfinished)
+	fmt.Printf("spin transitions  %d up, %d down\n", res.SpinUps, res.SpinDowns)
+	fmt.Printf("avg standby disks %.1f of %d\n", res.AvgStandbyDisks, numDisks)
+	fmt.Printf("peak disk queue   %d\n", res.PeakQueue)
+	if *cacheB > 0 {
+		fmt.Printf("cache             %d hits / %d misses (%.1f%%)\n",
+			res.CacheHits, res.CacheMisses, res.CacheHitRatio*100)
+	}
+	if *verbose {
+		fmt.Println("\ndisk  served  bytesGB  energyKJ  spinups  idle%  standby%  active%")
+		for i, b := range res.PerDisk {
+			total := res.Duration
+			fmt.Printf("%4d  %6d  %7.1f  %8.1f  %7d  %5.1f  %8.1f  %7.1f\n",
+				i, b.Served, float64(b.BytesRead)/1e9, b.Energy/1e3, b.SpinUps,
+				100*b.Durations[disk.Idle]/total,
+				100*b.Durations[disk.Standby]/total,
+				100*(b.Durations[disk.Seeking]+b.Durations[disk.Transferring])/total)
+		}
+	}
+}
+
+func allocate(tr *trace.Trace, algo string, capL float64, farm int, seed int64) ([]int, error) {
+	params := disk.DefaultParams()
+	sizes := make([]int64, len(tr.Files))
+	rates := make([]float64, len(tr.Files))
+	for i, fi := range tr.Files {
+		sizes[i] = fi.Size
+		rates[i] = fi.Rate
+	}
+	items, err := core.BuildItems(sizes, rates, params.ServiceTime, params.CapacityBytes, capL)
+	if err != nil {
+		return nil, err
+	}
+	var a *core.Assignment
+	switch algo {
+	case "pack":
+		a, err = core.PackDisks(items)
+	case "pack4":
+		a, err = core.PackDisksV(items, 4)
+	case "random":
+		n := farm
+		if n == 0 {
+			ref, err2 := core.PackDisks(items)
+			if err2 != nil {
+				return nil, err2
+			}
+			n = ref.NumDisks
+		}
+		a, err = core.RandomAssignCapacity(items, n, rand.New(rand.NewSource(seed)))
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return a.DiskOf, nil
+}
+
+func readAssign(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		d, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad assignment line %q: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "disksim:", err)
+	os.Exit(1)
+}

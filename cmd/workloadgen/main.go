@@ -1,0 +1,99 @@
+// Command workloadgen generates workload traces in the diskpack trace
+// format and prints their summary statistics.
+//
+// Usage:
+//
+//	workloadgen -kind table1 -rate 6 -out synth.trace
+//	workloadgen -kind nersc -seed 7 -out nersc.trace
+//	workloadgen -kind nersc -files 5000 -requests 10000 -stats-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diskpack/internal/trace"
+	"diskpack/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "table1", "workload kind: table1 or nersc")
+		rate      = flag.Float64("rate", 6, "table1: Poisson arrival rate R (req/s)")
+		files     = flag.Int("files", 0, "override file count (0 = paper value)")
+		requests  = flag.Int("requests", 0, "nersc: override request count (0 = paper value)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (empty = stdout; ignored with -stats-only)")
+		statsOnly = flag.Bool("stats-only", false, "print summary statistics instead of the trace")
+	)
+	flag.Parse()
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *kind {
+	case "table1":
+		cfg := workload.DefaultSynthetic(*rate, *seed)
+		if *files > 0 {
+			cfg.NumFiles = *files
+		}
+		tr, err = cfg.Build()
+	case "nersc":
+		cfg := workload.DefaultNERSC(*seed)
+		if *files > 0 {
+			cfg.NumFiles = *files
+		}
+		if *requests > 0 {
+			cfg.NumRequests = *requests
+		}
+		tr, err = cfg.Build()
+	default:
+		err = fmt.Errorf("unknown kind %q (want table1 or nersc)", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *statsOnly {
+		printStats(tr)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		printStats(tr)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.Stats()
+	fmt.Fprintf(os.Stderr, "files            %d\n", s.NumFiles)
+	fmt.Fprintf(os.Stderr, "requests         %d (distinct files touched: %d)\n", s.NumRequests, s.DistinctRequested)
+	fmt.Fprintf(os.Stderr, "duration         %.0f s (%.1f h)\n", s.Duration, s.Duration/3600)
+	fmt.Fprintf(os.Stderr, "arrival rate     %.6f req/s\n", s.ArrivalRate)
+	fmt.Fprintf(os.Stderr, "mean file size   %.1f MB\n", s.MeanFileSize/1e6)
+	fmt.Fprintf(os.Stderr, "mean req size    %.1f MB\n", s.MeanRequestSize/1e6)
+	fmt.Fprintf(os.Stderr, "population       %.2f TB (%.1f disks of 500 GB)\n",
+		float64(s.TotalBytes)/1e12, float64(s.TotalBytes)/500e9)
+	fit := tr.SizeZipfFit(80)
+	fmt.Fprintf(os.Stderr, "size log-log fit slope %.3f R2 %.3f over 80 bins\n", fit.Slope, fit.R2)
+	fmt.Fprintf(os.Stderr, "size-frequency correlation %.4f\n", tr.SizeFrequencyCorrelation())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package diskpack
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the documented package-level workflow
+// end to end through the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	wl := Table1Workload(4, 1)
+	wl.NumFiles = 1500
+	wl.MaxSize = wl.MaxSize / 25 // keep per-file loads feasible at this n
+	tr, err := wl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := ItemsFromTrace(tr, DefaultDiskParams(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Pack(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumDisks < LowerBoundDisks(items) {
+		t.Fatalf("packed %d disks below lower bound %d", alloc.NumDisks, LowerBoundDisks(items))
+	}
+	farm := alloc.NumDisks + 2
+	res, err := Simulate(tr, alloc.DiskOf, SimConfig{
+		NumDisks:      farm,
+		IdleThreshold: BreakEvenThreshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPower <= 0 || res.Completed == 0 {
+		t.Fatalf("implausible results: %+v", res)
+	}
+	if res.PowerSavingRatio <= 0 {
+		t.Fatalf("no power saving vs no-policy baseline: %v", res.PowerSavingRatio)
+	}
+}
+
+func TestPackGroupedPublicAPI(t *testing.T) {
+	items := []Item{
+		{ID: 0, Size: 0.1, Load: 0.3},
+		{ID: 1, Size: 0.1, Load: 0.3},
+		{ID: 2, Size: 0.1, Load: 0.3},
+		{ID: 3, Size: 0.1, Load: 0.3},
+	}
+	a, err := PackGrouped(items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.DiskOf) != 4 {
+		t.Fatalf("assignment: %+v", a)
+	}
+	if got := Rho(items); got != 0.3 {
+		t.Fatalf("Rho=%v want 0.3", got)
+	}
+}
+
+func TestDefaultDiskParamsBreakEven(t *testing.T) {
+	p := DefaultDiskParams()
+	if be := p.BreakEvenThreshold(); math.Abs(be-53.3) > 0.05 {
+		t.Fatalf("break-even %v, paper says 53.3 s", be)
+	}
+}
+
+func TestNERSCTraceConfigMatchesPaperCounts(t *testing.T) {
+	c := NERSCTrace(1)
+	if c.NumFiles != 88631 || c.NumRequests != 115832 {
+		t.Fatalf("NERSC config %d files / %d requests", c.NumFiles, c.NumRequests)
+	}
+}
+
+func TestRunExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	tables, err := RunExperiment("table2", ExperimentOptions{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "table2" {
+		t.Fatalf("unexpected tables: %v", tables)
+	}
+	if _, err := RunExperiment("no-such-figure", ExperimentOptions{Scale: 1, Seed: 1}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestItemsFromTraceRejectsOversize(t *testing.T) {
+	tr := &Trace{
+		Files:    []FileInfo{{ID: 0, Size: DefaultDiskParams().CapacityBytes * 2, Rate: 0}},
+		Duration: 1,
+	}
+	if _, err := ItemsFromTrace(tr, DefaultDiskParams(), 0.5); err == nil {
+		t.Fatal("oversize file accepted")
+	}
+}

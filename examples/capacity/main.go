@@ -1,0 +1,78 @@
+// Capacity planning: the paper's Section 1 suggests using the model
+// "for computing the percentage of disks that must be maintained
+// on-line to meet file access response time under budget constraints."
+// This example answers: given a workload and a mean-response-time
+// budget, what is the smallest load constraint L (hence fewest spinning
+// disks, hence lowest power bill) that still meets the budget?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diskpack"
+)
+
+func main() {
+	const responseBudget = 12.0 // seconds, mean
+	const arrivalRate = 6.0     // requests per second
+
+	wl := diskpack.Table1Workload(arrivalRate, 1)
+	wl.NumFiles = 2000
+	wl.MaxSize /= 20
+	tr, err := wl.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := diskpack.DefaultDiskParams()
+
+	fmt.Printf("workload: %d files, R = %.0f req/s; budget: mean response <= %.1f s\n\n",
+		len(tr.Files), arrivalRate, responseBudget)
+	fmt.Printf("%6s %8s %12s %12s %8s\n", "L", "disks", "power (W)", "resp (s)", "meets?")
+
+	type plan struct {
+		L     float64
+		disks int
+		power float64
+		resp  float64
+	}
+	var best *plan
+	// Sweep the load constraint from loose to tight: higher L means
+	// fewer, busier disks — cheaper but slower.
+	for _, L := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		items, err := diskpack.ItemsFromTrace(tr, params, L)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc, err := diskpack.Pack(items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := diskpack.Simulate(tr, alloc.DiskOf, diskpack.SimConfig{
+			NumDisks:      alloc.NumDisks,
+			IdleThreshold: diskpack.BreakEvenThreshold,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := res.RespMean <= responseBudget
+		mark := "no"
+		if meets {
+			mark = "yes"
+		}
+		fmt.Printf("%6.2f %8d %12.1f %12.2f %8s\n",
+			L, alloc.NumDisks, res.AvgPower, res.RespMean, mark)
+		if meets {
+			p := plan{L: L, disks: alloc.NumDisks, power: res.AvgPower, resp: res.RespMean}
+			if best == nil || p.power < best.power {
+				best = &p
+			}
+		}
+	}
+	if best == nil {
+		fmt.Println("\nno plan meets the budget — add disks or relax the budget")
+		return
+	}
+	fmt.Printf("\nrecommended plan: L = %.2f keeping %d disks on-line (%.1f W, %.2f s mean response)\n",
+		best.L, best.disks, best.power, best.resp)
+}

@@ -1,0 +1,81 @@
+// Trade-off frontier: reproduce the paper's Figure 4 in miniature —
+// sweep the load constraint L at fixed arrival rate and print the
+// power/response-time frontier, the titular trade-off between power
+// saving and response time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"diskpack"
+)
+
+func main() {
+	const arrivalRate = 6.0
+	wl := diskpack.Table1Workload(arrivalRate, 1)
+	wl.NumFiles = 2000
+	wl.MaxSize /= 20
+	tr, err := wl.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := diskpack.DefaultDiskParams()
+
+	type point struct {
+		L     float64
+		power float64
+		resp  float64
+	}
+	var frontier []point
+	farm := 0
+	var allocs []*diskpack.Assignment
+	Ls := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
+	for _, L := range Ls {
+		items, err := diskpack.ItemsFromTrace(tr, params, L)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := diskpack.Pack(items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allocs = append(allocs, a)
+		if a.NumDisks > farm {
+			farm = a.NumDisks
+		}
+	}
+	for i, L := range Ls {
+		res, err := diskpack.Simulate(tr, allocs[i].DiskOf, diskpack.SimConfig{
+			NumDisks:      farm,
+			IdleThreshold: diskpack.BreakEvenThreshold,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		frontier = append(frontier, point{L, res.AvgPower, res.RespMean})
+	}
+
+	// Render the two curves as aligned bars (power falls, response
+	// rises — the Figure 4 scissors).
+	maxPower, maxResp := 0.0, 0.0
+	for _, p := range frontier {
+		if p.power > maxPower {
+			maxPower = p.power
+		}
+		if p.resp > maxResp {
+			maxResp = p.resp
+		}
+	}
+	fmt.Printf("Power vs response time while tightening the load constraint (R = %.0f/s)\n\n", arrivalRate)
+	fmt.Printf("%5s  %-28s %-28s\n", "L", "power (W)", "mean response (s)")
+	for _, p := range frontier {
+		pb := int(p.power / maxPower * 24)
+		rb := int(p.resp / maxResp * 24)
+		fmt.Printf("%5.2f  %7.1f %-20s %7.2f %-20s\n",
+			p.L, p.power, strings.Repeat("#", pb), p.resp, strings.Repeat("*", rb))
+	}
+	fmt.Println("\nHigher L packs files onto fewer spinning disks: power falls while")
+	fmt.Println("queues lengthen — choose the L where both columns are acceptable.")
+}

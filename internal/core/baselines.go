@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"diskpack/internal/mheap"
+)
+
+// ChangHwangPark implements the O(n²) 2DVPP approximation of Chang,
+// Hwang & Park (2005) that PackDisks improves upon. The packing logic
+// is identical — alternate between size- and load-intensive heaps based
+// on the open disk's dominant dimension, swap out an element on overflow
+// — but the element to evict is located by scanning the open disk's
+// contents for one with s̃ₖ ≥ S(Dᵢ)−L(Dᵢ) (or the symmetric condition),
+// which costs O(n) per eviction instead of the O(1) the s-list/l-list
+// bookkeeping achieves. Both algorithms satisfy Theorem 1's bound.
+func ChangHwangPark(items []Item) (*Assignment, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	diskOf := make([]int, len(items))
+	if len(items) == 0 {
+		return &Assignment{DiskOf: diskOf, NumDisks: 0}, nil
+	}
+	rho := Rho(items)
+	sHeap, lHeap := buildHeaps(items)
+
+	type chpDisk struct {
+		size, load float64
+		members    []int
+	}
+	var closed []*chpDisk
+	d := &chpDisk{}
+
+	add := func(j int) {
+		d.size += items[j].Size
+		d.load += items[j].Load
+		d.members = append(d.members, j)
+	}
+	// removeWhere scans the disk (the O(n) step) for an element
+	// matching pred, removes it, and returns its index.
+	removeWhere := func(pred func(Item) bool) int {
+		for mi := len(d.members) - 1; mi >= 0; mi-- {
+			j := d.members[mi]
+			if pred(items[j]) {
+				d.members = append(d.members[:mi], d.members[mi+1:]...)
+				d.size -= items[j].Size
+				d.load -= items[j].Load
+				return j
+			}
+		}
+		panic("core: ChangHwangPark invariant violated — no eviction candidate")
+	}
+	complete := func() bool {
+		return len(d.members) > 0 && d.size >= 1-rho-feasEps && d.load >= 1-rho-feasEps
+	}
+	closeDisk := func() {
+		closed = append(closed, d)
+		d = &chpDisk{}
+	}
+
+	for {
+		sizeDominant := d.size >= d.load
+		swapped := false
+		if sizeDominant && !lHeap.Empty() {
+			_, j, _ := lHeap.Pop()
+			if d.size+items[j].Size > 1+feasEps {
+				gap := d.size - d.load
+				k := removeWhere(func(it Item) bool {
+					return it.SizeIntensive() && it.Size-it.Load >= gap-feasEps
+				})
+				sHeap.Push(items[k].Size-items[k].Load, k)
+				swapped = true
+			}
+			add(j)
+		} else if !sizeDominant && !sHeap.Empty() {
+			_, j, _ := sHeap.Pop()
+			if d.load+items[j].Load > 1+feasEps {
+				gap := d.load - d.size
+				k := removeWhere(func(it Item) bool {
+					return !it.SizeIntensive() && it.Load-it.Size >= gap-feasEps
+				})
+				lHeap.Push(items[k].Load-items[k].Size, k)
+				swapped = true
+			}
+			add(j)
+		} else {
+			break
+		}
+		if swapped || complete() {
+			closeDisk()
+		}
+	}
+
+	packRemaining := func(h *mheap.KV[float64, int], dim func() float64, itemDim func(Item) float64) {
+		for !h.Empty() {
+			_, j, _ := h.Pop()
+			if dim()+itemDim(items[j]) > 1+feasEps {
+				closeDisk()
+			}
+			add(j)
+		}
+	}
+	packRemaining(sHeap, func() float64 { return d.size }, func(it Item) float64 { return it.Size })
+	packRemaining(lHeap, func() float64 { return d.load }, func(it Item) float64 { return it.Load })
+	if len(d.members) > 0 {
+		closeDisk()
+	}
+
+	for di, disk := range closed {
+		for _, i := range disk.members {
+			diskOf[i] = di
+		}
+	}
+	a := &Assignment{DiskOf: diskOf, NumDisks: len(closed)}
+	if err := a.CheckFeasible(items, false); err != nil {
+		panic(fmt.Sprintf("core: ChangHwangPark produced infeasible packing: %v", err))
+	}
+	return a, nil
+}
+
+// RandomAssign distributes items uniformly at random over numDisks
+// disks, ignoring both capacity dimensions. This is the paper's
+// "random placement" comparator for Figures 2–4: with files spread
+// evenly, idle periods are short on every disk and spin-down
+// opportunities vanish.
+func RandomAssign(items []Item, numDisks int, rng *rand.Rand) (*Assignment, error) {
+	if numDisks < 1 {
+		return nil, fmt.Errorf("core: RandomAssign needs >= 1 disk, got %d", numDisks)
+	}
+	diskOf := make([]int, len(items))
+	for i := range items {
+		diskOf[i] = rng.Intn(numDisks)
+	}
+	return &Assignment{DiskOf: diskOf, NumDisks: numDisks}, nil
+}
+
+// RandomAssignCapacity distributes items uniformly at random over
+// numDisks disks while respecting the size capacity (load is ignored,
+// as in the paper's Section 5.1 experiment where random placement packs
+// the NERSC files into 96 disks). It returns ErrDoesNotFit when some
+// item fits on no disk.
+func RandomAssignCapacity(items []Item, numDisks int, rng *rand.Rand) (*Assignment, error) {
+	if numDisks < 1 {
+		return nil, fmt.Errorf("core: RandomAssignCapacity needs >= 1 disk, got %d", numDisks)
+	}
+	diskOf := make([]int, len(items))
+	sizes := make([]float64, numDisks)
+	// Place items in random order so late large items are not
+	// systematically squeezed out.
+	order := rng.Perm(len(items))
+	feasible := make([]int, 0, numDisks)
+	for _, i := range order {
+		feasible = feasible[:0]
+		for d := 0; d < numDisks; d++ {
+			if sizes[d]+items[i].Size <= 1+feasEps {
+				feasible = append(feasible, d)
+			}
+		}
+		if len(feasible) == 0 {
+			return nil, fmt.Errorf("%w: item %d (size %v) fits on no disk", ErrDoesNotFit, i, items[i].Size)
+		}
+		d := feasible[rng.Intn(len(feasible))]
+		diskOf[i] = d
+		sizes[d] += items[i].Size
+	}
+	return &Assignment{DiskOf: diskOf, NumDisks: numDisks}, nil
+}
+
+// FirstFit packs items in input order, placing each on the
+// lowest-numbered disk with room in both dimensions, opening a new disk
+// when none fits.
+func FirstFit(items []Item) (*Assignment, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	return firstFitOrder(items, identityOrder(len(items))), nil
+}
+
+// FirstFitDecreasing packs items in decreasing max(s, l) order using
+// first-fit — the classic bin-packing heuristic generalized to two
+// dimensions.
+func FirstFitDecreasing(items []Item) (*Assignment, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	order := identityOrder(len(items))
+	sort.SliceStable(order, func(a, b int) bool {
+		ma := math.Max(items[order[a]].Size, items[order[a]].Load)
+		mb := math.Max(items[order[b]].Size, items[order[b]].Load)
+		return ma > mb
+	})
+	return firstFitOrder(items, order), nil
+}
+
+// BestFit packs items in input order onto the feasible disk whose
+// remaining capacity (in the tighter dimension after placement) is
+// smallest, opening a new disk when none fits.
+func BestFit(items []Item) (*Assignment, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	diskOf := make([]int, len(items))
+	var sizes, loads []float64
+	for i, it := range items {
+		best, bestSlack := -1, math.Inf(1)
+		for d := range sizes {
+			if sizes[d]+it.Size > 1+feasEps || loads[d]+it.Load > 1+feasEps {
+				continue
+			}
+			slack := math.Min(1-(sizes[d]+it.Size), 1-(loads[d]+it.Load))
+			if slack < bestSlack {
+				best, bestSlack = d, slack
+			}
+		}
+		if best < 0 {
+			sizes = append(sizes, 0)
+			loads = append(loads, 0)
+			best = len(sizes) - 1
+		}
+		diskOf[i] = best
+		sizes[best] += it.Size
+		loads[best] += it.Load
+	}
+	return &Assignment{DiskOf: diskOf, NumDisks: len(sizes)}, nil
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func firstFitOrder(items []Item, order []int) *Assignment {
+	diskOf := make([]int, len(items))
+	var sizes, loads []float64
+	for _, i := range order {
+		it := items[i]
+		placed := -1
+		for d := range sizes {
+			if sizes[d]+it.Size <= 1+feasEps && loads[d]+it.Load <= 1+feasEps {
+				placed = d
+				break
+			}
+		}
+		if placed < 0 {
+			sizes = append(sizes, 0)
+			loads = append(loads, 0)
+			placed = len(sizes) - 1
+		}
+		diskOf[i] = placed
+		sizes[placed] += it.Size
+		loads[placed] += it.Load
+	}
+	return &Assignment{DiskOf: diskOf, NumDisks: len(sizes)}
+}
+
+// BuildItems normalizes raw file sizes (bytes) and request rates
+// (requests/second) into packing items: sᵢ = size/capS and
+// lᵢ = rateᵢ·serviceTime(sizeᵢ)/capL, following the paper's definition
+// l_i = R·p_i·µ_i with capL the allowed utilization fraction of the
+// disk's transfer capability. It is an error if any normalized
+// component exceeds 1 (the file can never be stored / served within the
+// constraint).
+func BuildItems(sizes []int64, rates []float64, serviceTime func(int64) float64, capS int64, capL float64) ([]Item, error) {
+	if len(sizes) != len(rates) {
+		return nil, fmt.Errorf("core: %d sizes but %d rates", len(sizes), len(rates))
+	}
+	if capS <= 0 || capL <= 0 {
+		return nil, fmt.Errorf("core: capacities must be positive (capS=%d capL=%v)", capS, capL)
+	}
+	items := make([]Item, len(sizes))
+	for i := range sizes {
+		s := float64(sizes[i]) / float64(capS)
+		l := rates[i] * serviceTime(sizes[i]) / capL
+		if s > 1 || l > 1 || s < 0 || l < 0 || math.IsNaN(s) || math.IsNaN(l) {
+			return nil, fmt.Errorf("core: file %d does not fit: normalized size=%v load=%v", i, s, l)
+		}
+		items[i] = Item{ID: i, Size: s, Load: l}
+	}
+	return items, nil
+}

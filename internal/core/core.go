@@ -1,0 +1,422 @@
+// Package core implements the paper's primary contribution: file
+// allocation on disks as a two-dimensional vector packing problem
+// (2DVPP) with provable bounds from the optimum.
+//
+// Each file i is a normalized pair (sᵢ, lᵢ): its size as a fraction of
+// the usable disk capacity S, and its load — request rate × service time
+// — as a fraction of the allowed per-disk load L. A disk is a bin with
+// capacity 1 in both dimensions. Packing files into the minimum number
+// of bins concentrates traffic on few spindles so the rest can spin
+// down, which is the power/response-time trade-off the paper analyzes.
+//
+// The package provides:
+//
+//   - PackDisks: the paper's O(n log n) approximation (Algorithm 3). It
+//     improves on Chang, Hwang & Park's O(n²) algorithm by keeping, per
+//     open disk, the stacks s-list and l-list of inserted elements so
+//     the element to evict on overflow is found in O(1).
+//   - PackDisksV: the group round-robin variant (Section 3.2) that
+//     spreads batches of similar-size files over v disks; v = 1 is
+//     exactly PackDisks.
+//   - ChangHwangPark: the original O(n²) algorithm, used as the
+//     complexity ablation baseline.
+//   - RandomAssign / RandomAssignCapacity / FirstFit / BestFit /
+//     FirstFitDecreasing: comparison allocators.
+//   - LowerBound, Rho, CheckFeasible, ApproxBound: the quantities in
+//     Theorem 1 (C_PD ≤ C*/(1−ρ) + 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diskpack/internal/mheap"
+)
+
+// Item is one file to allocate, with size and load normalized to the
+// per-disk capacities (both in [0, 1]).
+type Item struct {
+	ID   int
+	Size float64
+	Load float64
+}
+
+// SizeIntensive reports whether the item belongs to the paper's ST(F)
+// set (sᵢ ≥ lᵢ); otherwise it is load-intensive (LD(F)).
+func (it Item) SizeIntensive() bool { return it.Size >= it.Load }
+
+// feasEps absorbs floating-point drift when checking bin capacities.
+const feasEps = 1e-9
+
+// ValidateItems reports the first item whose size or load is outside
+// [0, 1] — such an item can never be packed.
+func ValidateItems(items []Item) error {
+	for i, it := range items {
+		if math.IsNaN(it.Size) || math.IsNaN(it.Load) ||
+			it.Size < 0 || it.Load < 0 || it.Size > 1 || it.Load > 1 {
+			return fmt.Errorf("core: item %d (id %d) has size=%v load=%v outside [0,1]",
+				i, it.ID, it.Size, it.Load)
+		}
+	}
+	return nil
+}
+
+// Rho returns ρ = maxᵢ max(sᵢ, lᵢ), the item-size bound appearing in
+// Theorem 1's guarantee. It returns 0 for an empty instance.
+func Rho(items []Item) float64 {
+	var rho float64
+	for _, it := range items {
+		if it.Size > rho {
+			rho = it.Size
+		}
+		if it.Load > rho {
+			rho = it.Load
+		}
+	}
+	return rho
+}
+
+// LowerBound returns max(Σsᵢ, Σlᵢ), a lower bound on the optimal number
+// of disks C* (each disk holds at most 1 unit of size and 1 of load).
+func LowerBound(items []Item) float64 {
+	var ss, sl float64
+	for _, it := range items {
+		ss += it.Size
+		sl += it.Load
+	}
+	return math.Max(ss, sl)
+}
+
+// LowerBoundDisks returns ⌈LowerBound⌉ as an integer disk count (at
+// least 1 when any item exists).
+func LowerBoundDisks(items []Item) int {
+	if len(items) == 0 {
+		return 0
+	}
+	lb := int(math.Ceil(LowerBound(items) - feasEps))
+	if lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
+// ApproxBound returns the Theorem 1 guarantee evaluated with the
+// LowerBound in place of C*: 1 + LB/(1−ρ). The proof of Theorem 1 in
+// fact establishes C_PD against this stronger quantity, so it is a valid
+// (and testable) ceiling for the number of disks PackDisks may open.
+// It returns +Inf when ρ ≥ 1.
+func ApproxBound(items []Item) float64 {
+	rho := Rho(items)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 + LowerBound(items)/(1-rho)
+}
+
+// Assignment maps each input item to a disk.
+type Assignment struct {
+	// DiskOf[i] is the 0-based disk holding items[i].
+	DiskOf []int
+	// NumDisks is the number of disks used (max(DiskOf)+1).
+	NumDisks int
+}
+
+// Disks groups item indices per disk.
+func (a *Assignment) Disks() [][]int {
+	out := make([][]int, a.NumDisks)
+	for i, d := range a.DiskOf {
+		out[d] = append(out[d], i)
+	}
+	return out
+}
+
+// Totals returns the per-disk size and load sums under items.
+func (a *Assignment) Totals(items []Item) (sizes, loads []float64) {
+	sizes = make([]float64, a.NumDisks)
+	loads = make([]float64, a.NumDisks)
+	for i, d := range a.DiskOf {
+		sizes[d] += items[i].Size
+		loads[d] += items[i].Load
+	}
+	return sizes, loads
+}
+
+// CheckFeasible verifies that every item is assigned to a valid disk and
+// no disk exceeds capacity 1 (within floating-point tolerance) in either
+// dimension. sizeOnly relaxes the load dimension, matching the paper's
+// random placement which ignores load.
+func (a *Assignment) CheckFeasible(items []Item, sizeOnly bool) error {
+	if len(a.DiskOf) != len(items) {
+		return fmt.Errorf("core: assignment covers %d items, want %d", len(a.DiskOf), len(items))
+	}
+	for i, d := range a.DiskOf {
+		if d < 0 || d >= a.NumDisks {
+			return fmt.Errorf("core: item %d assigned to invalid disk %d (of %d)", i, d, a.NumDisks)
+		}
+	}
+	sizes, loads := a.Totals(items)
+	for d := range sizes {
+		if sizes[d] > 1+feasEps {
+			return fmt.Errorf("core: disk %d size %v exceeds capacity", d, sizes[d])
+		}
+		if !sizeOnly && loads[d] > 1+feasEps {
+			return fmt.Errorf("core: disk %d load %v exceeds capacity", d, loads[d])
+		}
+	}
+	return nil
+}
+
+// openDisk is a bin being filled by PackDisks. sList and lList are the
+// insertion-order stacks of size-intensive and load-intensive items the
+// paper uses to locate the eviction candidate in O(1) (the improvement
+// over Chang–Hwang–Park).
+type openDisk struct {
+	size, load   float64
+	sList, lList []int // item indices, in insertion order
+}
+
+func (d *openDisk) add(items []Item, idx int) {
+	it := items[idx]
+	d.size += it.Size
+	d.load += it.Load
+	if it.SizeIntensive() {
+		d.sList = append(d.sList, idx)
+	} else {
+		d.lList = append(d.lList, idx)
+	}
+}
+
+// evictLastS removes and returns the most recently inserted
+// size-intensive item (Lemma 1 guarantees it exists and has
+// s̃ₖ ≥ S(Dᵢ)−L(Dᵢ) when the overflow branch triggers).
+func (d *openDisk) evictLastS(items []Item) int {
+	if len(d.sList) == 0 {
+		panic("core: PackDisks invariant violated — eviction from empty s-list")
+	}
+	idx := d.sList[len(d.sList)-1]
+	d.sList = d.sList[:len(d.sList)-1]
+	d.size -= items[idx].Size
+	d.load -= items[idx].Load
+	return idx
+}
+
+func (d *openDisk) evictLastL(items []Item) int {
+	if len(d.lList) == 0 {
+		panic("core: PackDisks invariant violated — eviction from empty l-list")
+	}
+	idx := d.lList[len(d.lList)-1]
+	d.lList = d.lList[:len(d.lList)-1]
+	d.size -= items[idx].Size
+	d.load -= items[idx].Load
+	return idx
+}
+
+// complete reports whether the disk is both s-complete and l-complete:
+// 1 ≥ S ≥ 1−ρ and 1 ≥ L ≥ 1−ρ. An empty disk is never considered
+// complete (otherwise ρ = 1 instances would close zero-item disks
+// forever).
+func (d *openDisk) complete(rho float64) bool {
+	if len(d.sList)+len(d.lList) == 0 {
+		return false
+	}
+	return d.size >= 1-rho-feasEps && d.load >= 1-rho-feasEps
+}
+
+func (d *openDisk) itemCount() int { return len(d.sList) + len(d.lList) }
+
+// buildHeaps splits items into the two max-heaps of Algorithm 3:
+// Ŝ keyed by s̃ᵢ = sᵢ−lᵢ over size-intensive items, and L̂ keyed by
+// l̃ᵢ = lᵢ−sᵢ over load-intensive items.
+func buildHeaps(items []Item) (sHeap, lHeap *mheap.KV[float64, int]) {
+	sHeap = mheap.NewMaxKV[float64, int]()
+	lHeap = mheap.NewMaxKV[float64, int]()
+	for i, it := range items {
+		if it.SizeIntensive() {
+			sHeap.Push(it.Size-it.Load, i)
+		} else {
+			lHeap.Push(it.Load-it.Size, i)
+		}
+	}
+	return sHeap, lHeap
+}
+
+// PackDisks runs the paper's Algorithm 3 and returns the resulting
+// assignment. It is an error if any item exceeds the unit capacities.
+// Complexity is O(n log n): every item is pushed/popped from a heap a
+// bounded number of times (each re-push coincides with a disk closing),
+// and eviction candidates are found in O(1) via the per-disk lists.
+func PackDisks(items []Item) (*Assignment, error) {
+	return packDisksGrouped(items, 1)
+}
+
+// PackDisksV runs the Section 3.2 variant: disks are organized in groups
+// of v and packed round-robin within the group, de-clustering batches of
+// similar files that would otherwise land on one spindle. PackDisksV
+// with v = 1 is identical to PackDisks.
+func PackDisksV(items []Item, v int) (*Assignment, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("core: group size v must be >= 1, got %d", v)
+	}
+	return packDisksGrouped(items, v)
+}
+
+func packDisksGrouped(items []Item, v int) (*Assignment, error) {
+	if err := ValidateItems(items); err != nil {
+		return nil, err
+	}
+	diskOf := make([]int, len(items))
+	if len(items) == 0 {
+		return &Assignment{DiskOf: diskOf, NumDisks: 0}, nil
+	}
+	rho := Rho(items)
+	sHeap, lHeap := buildHeaps(items)
+
+	var closed []*openDisk // disks in final order
+	// The current group: up to v concurrently open disks, packed
+	// round-robin. With v == 1 this degenerates to Algorithm 3's
+	// single current disk.
+	var group []*openDisk
+	freshGroup := func() {
+		group = group[:0]
+		for k := 0; k < v; k++ {
+			group = append(group, &openDisk{})
+		}
+	}
+	freshGroup()
+	rr := 0 // round-robin cursor within group
+
+	// closeAt moves group[gi] to the closed list; an emptied group is
+	// replaced by a fresh one.
+	closeAt := func(gi int) {
+		closed = append(closed, group[gi])
+		group = append(group[:gi], group[gi+1:]...)
+		if len(group) == 0 {
+			freshGroup()
+			rr = 0
+		} else if rr >= len(group) {
+			rr = 0
+		}
+	}
+
+	// Main loop (Algorithm 3 lines 4–21, generalized to a group).
+mainLoop:
+	for {
+		gi := rr % len(group)
+		d := group[gi]
+		sizeDominant := d.size >= d.load
+		swapped := false
+		switch {
+		case sizeDominant && !lHeap.Empty():
+			_, j, _ := lHeap.Pop()
+			if d.size+items[j].Size > 1+feasEps {
+				// Overflow: evict the last size-intensive element
+				// (Lemma 1), return it to Ŝ, then insert j. Lemma 3
+				// guarantees the disk is now complete.
+				k := d.evictLastS(items)
+				sHeap.Push(items[k].Size-items[k].Load, k)
+				swapped = true
+			}
+			d.add(items, j)
+		case !sizeDominant && !sHeap.Empty():
+			_, j, _ := sHeap.Pop()
+			if d.load+items[j].Load > 1+feasEps {
+				// Symmetric overflow (Lemmas 2 and 4).
+				k := d.evictLastL(items)
+				lHeap.Push(items[k].Load-items[k].Size, k)
+				swapped = true
+			}
+			d.add(items, j)
+		default:
+			// This disk cannot take an element from the heap its
+			// dominance calls for. Let another open disk in the
+			// group proceed if one can; otherwise the main phase is
+			// over.
+			for off := 1; off < len(group); off++ {
+				alt := group[(rr+off)%len(group)]
+				altDominant := alt.size >= alt.load
+				if (altDominant && !lHeap.Empty()) || (!altDominant && !sHeap.Empty()) {
+					rr = (rr + off) % len(group)
+					continue mainLoop
+				}
+			}
+			break mainLoop
+		}
+		// Lemmas 3/4: an eviction swap always completes the disk, so
+		// close unconditionally after one (this also guarantees
+		// termination independent of floating-point rounding in the
+		// completeness test).
+		if swapped || d.complete(rho) {
+			closeAt(gi)
+		} else {
+			rr = (rr + 1) % len(group)
+		}
+	}
+
+	// Pack_Remaining (the paper's Pack_Remaining_S / Pack_Remaining_L,
+	// generalized to round-robin over the open group). Lemma 5: at
+	// most one heap is non-empty here, and every open disk is
+	// dominant in that heap's dimension, so only that dimension can
+	// overflow.
+	if !sHeap.Empty() && !lHeap.Empty() {
+		panic("core: PackDisks invariant violated — both heaps non-empty after main loop")
+	}
+	packRemaining := func(h *mheap.KV[float64, int], dim func(*openDisk) float64, itemDim func(Item) float64) {
+		for !h.Empty() {
+			_, j, _ := h.Pop()
+			placed := false
+			for off := 0; off < len(group); off++ {
+				gi := (rr + off) % len(group)
+				d := group[gi]
+				if dim(d)+itemDim(items[j]) <= 1+feasEps {
+					d.add(items, j)
+					rr = (gi + 1) % len(group)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// No open disk fits this element: retire the whole
+				// group (every member is non-empty — an empty disk
+				// would have accepted the element) and start fresh.
+				for _, d := range group {
+					if d.itemCount() > 0 {
+						closed = append(closed, d)
+					}
+				}
+				freshGroup()
+				group[0].add(items, j)
+				rr = 1 % v
+			}
+		}
+	}
+	packRemaining(sHeap, func(d *openDisk) float64 { return d.size }, func(it Item) float64 { return it.Size })
+	packRemaining(lHeap, func(d *openDisk) float64 { return d.load }, func(it Item) float64 { return it.Load })
+
+	// Flush the open group: keep only disks that received items.
+	for _, d := range group {
+		if d.itemCount() > 0 {
+			closed = append(closed, d)
+		}
+	}
+
+	for di, d := range closed {
+		for _, i := range d.sList {
+			diskOf[i] = di
+		}
+		for _, i := range d.lList {
+			diskOf[i] = di
+		}
+	}
+	a := &Assignment{DiskOf: diskOf, NumDisks: len(closed)}
+	if err := a.CheckFeasible(items, false); err != nil {
+		// A feasibility failure here is an algorithm bug, not bad
+		// input; surface it loudly.
+		panic(fmt.Sprintf("core: PackDisks produced infeasible packing: %v", err))
+	}
+	return a, nil
+}
+
+// ErrDoesNotFit reports that an allocator could not place all items in
+// the disks it was given.
+var ErrDoesNotFit = errors.New("core: items do not fit")

@@ -1,0 +1,667 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyInstance(t *testing.T) {
+	a, err := PackDisks(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 0 || len(a.DiskOf) != 0 {
+		t.Fatalf("empty instance: %+v", a)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	a, err := PackDisks([]Item{{ID: 0, Size: 0.4, Load: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 1 || a.DiskOf[0] != 0 {
+		t.Fatalf("single item: %+v", a)
+	}
+}
+
+func TestZeroItem(t *testing.T) {
+	a, err := PackDisks([]Item{{ID: 0, Size: 0, Load: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 1 {
+		t.Fatalf("zero item should occupy one disk: %+v", a)
+	}
+}
+
+// TestKnownInstanceNoEviction walks a hand-traced execution of
+// Algorithm 3 on four items where no overflow occurs.
+func TestKnownInstanceNoEviction(t *testing.T) {
+	// A,B size-intensive (s~ = 0.4, 0.3); C,D load-intensive
+	// (l~ = 0.5, 0.4). Trace: disk0 = {C, A} closes complete,
+	// disk1 = {D, B} closes complete.
+	items := []Item{
+		{ID: 0, Size: 0.6, Load: 0.2}, // A
+		{ID: 1, Size: 0.5, Load: 0.2}, // B
+		{ID: 2, Size: 0.2, Load: 0.7}, // C
+		{ID: 3, Size: 0.1, Load: 0.5}, // D
+	}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1}
+	if a.NumDisks != 2 {
+		t.Fatalf("NumDisks=%d want 2 (DiskOf=%v)", a.NumDisks, a.DiskOf)
+	}
+	for i, w := range want {
+		if a.DiskOf[i] != w {
+			t.Fatalf("DiskOf=%v want %v", a.DiskOf, want)
+		}
+	}
+}
+
+// TestKnownInstanceWithEviction forces the overflow branch: the disk
+// accumulates size, then a load-intensive element overflows the size
+// dimension, evicting the most recent s-list element (Lemma 1), after
+// which the disk is complete (Lemma 3).
+func TestKnownInstanceWithEviction(t *testing.T) {
+	items := []Item{
+		{ID: 0, Size: 0.5, Load: 0.01},  // a: size-intensive, s~=0.49
+		{ID: 1, Size: 0.45, Load: 0.02}, // b: size-intensive, s~=0.43
+		{ID: 2, Size: 0.01, Load: 0.3},  // c: load-intensive, l~=0.29
+		{ID: 3, Size: 0.51, Load: 0.6},  // d: load-intensive, l~=0.09
+	}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace: disk0 takes c, then a (S=.51,L=.31); d overflows size
+	// (1.02 > 1) so a is evicted and d inserted -> disk0={c,d} closes.
+	// Remaining size-intensive a,b fill disk1.
+	want := []int{1, 1, 0, 0}
+	if a.NumDisks != 2 {
+		t.Fatalf("NumDisks=%d want 2 (DiskOf=%v)", a.NumDisks, a.DiskOf)
+	}
+	for i, w := range want {
+		if a.DiskOf[i] != w {
+			t.Fatalf("DiskOf=%v want %v", a.DiskOf, want)
+		}
+	}
+	// The evicted element must have landed on a different disk than d.
+	if a.DiskOf[0] == a.DiskOf[3] {
+		t.Error("evicted item repacked onto same disk")
+	}
+}
+
+func TestChangHwangParkSameInstances(t *testing.T) {
+	items := []Item{
+		{ID: 0, Size: 0.5, Load: 0.01},
+		{ID: 1, Size: 0.45, Load: 0.02},
+		{ID: 2, Size: 0.01, Load: 0.3},
+		{ID: 3, Size: 0.51, Load: 0.6},
+	}
+	a, err := ChangHwangPark(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 2 {
+		t.Fatalf("CHP NumDisks=%d want 2", a.NumDisks)
+	}
+	if err := a.CheckFeasible(items, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateItemsRejectsBadInput(t *testing.T) {
+	bad := [][]Item{
+		{{Size: -0.1, Load: 0.5}},
+		{{Size: 0.5, Load: -0.1}},
+		{{Size: 1.1, Load: 0.5}},
+		{{Size: 0.5, Load: 1.1}},
+		{{Size: math.NaN(), Load: 0.5}},
+	}
+	for i, items := range bad {
+		if _, err := PackDisks(items); err == nil {
+			t.Errorf("case %d: PackDisks accepted invalid item", i)
+		}
+		if _, err := ChangHwangPark(items); err == nil {
+			t.Errorf("case %d: ChangHwangPark accepted invalid item", i)
+		}
+		if _, err := FirstFit(items); err == nil {
+			t.Errorf("case %d: FirstFit accepted invalid item", i)
+		}
+	}
+}
+
+func TestRhoAndLowerBound(t *testing.T) {
+	items := []Item{{Size: 0.3, Load: 0.6}, {Size: 0.5, Load: 0.1}}
+	if got := Rho(items); got != 0.6 {
+		t.Errorf("Rho=%v want 0.6", got)
+	}
+	if got := LowerBound(items); got != 0.8 {
+		t.Errorf("LowerBound=%v want 0.8 (sizes)", got)
+	}
+	if got := LowerBoundDisks(items); got != 1 {
+		t.Errorf("LowerBoundDisks=%v want 1", got)
+	}
+	if got := Rho(nil); got != 0 {
+		t.Errorf("Rho(nil)=%v want 0", got)
+	}
+	if got := LowerBoundDisks(nil); got != 0 {
+		t.Errorf("LowerBoundDisks(nil)=%v want 0", got)
+	}
+}
+
+func TestApproxBoundInfiniteAtRhoOne(t *testing.T) {
+	if !math.IsInf(ApproxBound([]Item{{Size: 1, Load: 0}}), 1) {
+		t.Error("ApproxBound should be +Inf at rho=1")
+	}
+}
+
+// randInstance generates n items with components in (0, rhoMax].
+func randInstance(rng *rand.Rand, n int, rhoMax float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:   i,
+			Size: rng.Float64() * rhoMax,
+			Load: rng.Float64() * rhoMax,
+		}
+	}
+	return items
+}
+
+// skewedInstance mimics the paper's workload: small popular files
+// (load-intensive) plus big cold files (size-intensive).
+func skewedInstance(rng *rand.Rand, n int, rhoMax float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		if rng.Intn(2) == 0 {
+			items[i] = Item{ID: i, Size: rng.Float64() * rhoMax * 0.2, Load: rng.Float64() * rhoMax}
+		} else {
+			items[i] = Item{ID: i, Size: rng.Float64() * rhoMax, Load: rng.Float64() * rhoMax * 0.1}
+		}
+	}
+	return items
+}
+
+func checkPartition(t *testing.T, a *Assignment, n int) {
+	t.Helper()
+	if len(a.DiskOf) != n {
+		t.Fatalf("assignment covers %d items want %d", len(a.DiskOf), n)
+	}
+	counts := make([]int, a.NumDisks)
+	for _, d := range a.DiskOf {
+		if d < 0 || d >= a.NumDisks {
+			t.Fatalf("invalid disk %d", d)
+		}
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c == 0 {
+			t.Fatalf("disk %d is empty — packing wasted a bin", d)
+		}
+	}
+}
+
+// TestPackDisksBoundProperty is the Theorem 1 check: over random
+// instances, C_PD <= 1 + LB/(1-rho), with LB <= C*.
+func TestPackDisksBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		rhoMax := 0.05 + rng.Float64()*0.9
+		var items []Item
+		if trial%2 == 0 {
+			items = randInstance(rng, n, rhoMax)
+		} else {
+			items = skewedInstance(rng, n, rhoMax)
+		}
+		a, err := PackDisks(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartition(t, a, n)
+		if err := a.CheckFeasible(items, false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if bound := ApproxBound(items); float64(a.NumDisks) > bound+feasEps {
+			t.Fatalf("trial %d: NumDisks=%d exceeds Theorem 1 bound %v (rho=%v, LB=%v)",
+				trial, a.NumDisks, bound, Rho(items), LowerBound(items))
+		}
+	}
+}
+
+func TestChangHwangParkBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(120)
+		items := randInstance(rng, n, 0.05+rng.Float64()*0.9)
+		a, err := ChangHwangPark(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartition(t, a, n)
+		if err := a.CheckFeasible(items, false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if bound := ApproxBound(items); float64(a.NumDisks) > bound+feasEps {
+			t.Fatalf("trial %d: CHP NumDisks=%d exceeds bound %v", trial, a.NumDisks, bound)
+		}
+	}
+}
+
+// TestPackDisksCloseToChangHwangPark: the two algorithms implement the
+// same packing policy (differing only in which eviction candidate they
+// choose), so disk counts should agree closely.
+func TestPackDisksCloseToChangHwangPark(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		items := randInstance(rng, 100+rng.Intn(100), 0.3)
+		a, _ := PackDisks(items)
+		b, _ := ChangHwangPark(items)
+		diff := a.NumDisks - b.NumDisks
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1+a.NumDisks/10 {
+			t.Errorf("trial %d: PackDisks=%d CHP=%d differ by more than 10%%",
+				trial, a.NumDisks, b.NumDisks)
+		}
+	}
+}
+
+func TestPackDisksV1MatchesPackDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		items := randInstance(rng, 1+rng.Intn(150), 0.05+rng.Float64()*0.9)
+		a, err := PackDisks(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PackDisksV(items, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumDisks != b.NumDisks {
+			t.Fatalf("trial %d: v=1 NumDisks=%d vs PackDisks=%d", trial, b.NumDisks, a.NumDisks)
+		}
+		for i := range a.DiskOf {
+			if a.DiskOf[i] != b.DiskOf[i] {
+				t.Fatalf("trial %d: v=1 assignment differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPackDisksVFeasibleAllGroupSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for v := 1; v <= 8; v++ {
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(200)
+			items := randInstance(rng, n, 0.05+rng.Float64()*0.9)
+			a, err := PackDisksV(items, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPartition(t, a, n)
+			if err := a.CheckFeasible(items, false); err != nil {
+				t.Fatalf("v=%d trial %d: %v", v, trial, err)
+			}
+			// The group variant may waste part of the final group
+			// but must stay within bound + v slack.
+			if bound := ApproxBound(items) + float64(v); float64(a.NumDisks) > bound {
+				t.Fatalf("v=%d trial %d: NumDisks=%d exceeds %v", v, trial, a.NumDisks, bound)
+			}
+		}
+	}
+}
+
+// TestPackDisksVSpreadsBatches verifies the design goal of Section 3.2:
+// a batch of equal-size files lands on v different disks rather than
+// one.
+func TestPackDisksVSpreadsBatches(t *testing.T) {
+	// 16 near-identical load-intensive files (loads strictly
+	// decreasing so heap pop order is deterministic); each disk holds
+	// at most 4 by load. PackDisks fills disk-by-disk; PackDisksV(4)
+	// round-robins.
+	var items []Item
+	for i := 0; i < 16; i++ {
+		items = append(items, Item{ID: i, Size: 0.01, Load: 0.25 - float64(i)*1e-6})
+	}
+	seq, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := PackDisksV(items, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First four files: sequential packing puts them all on disk 0.
+	for i := 1; i < 4; i++ {
+		if seq.DiskOf[i] != seq.DiskOf[0] {
+			t.Fatalf("PackDisks should cluster the first batch: %v", seq.DiskOf[:4])
+		}
+	}
+	// Group packing must spread them across 4 distinct disks.
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[grp.DiskOf[i]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("PackDisksV(4) put first batch on %d disks, want 4: %v", len(seen), grp.DiskOf[:4])
+	}
+}
+
+func TestPackDisksVInvalidGroupSize(t *testing.T) {
+	if _, err := PackDisksV([]Item{{Size: 0.1, Load: 0.1}}, 0); err == nil {
+		t.Error("v=0 accepted")
+	}
+	if _, err := PackDisksV([]Item{{Size: 0.1, Load: 0.1}}, -3); err == nil {
+		t.Error("v=-3 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randInstance(rng, 500, 0.4)
+	a, _ := PackDisks(items)
+	b, _ := PackDisks(items)
+	for i := range a.DiskOf {
+		if a.DiskOf[i] != b.DiskOf[i] {
+			t.Fatal("PackDisks is not deterministic")
+		}
+	}
+}
+
+func TestAllSizeIntensive(t *testing.T) {
+	var items []Item
+	for i := 0; i < 10; i++ {
+		items = append(items, Item{ID: i, Size: 0.3, Load: 0.1})
+	}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 * 0.3 size = 3.0 -> at least 4 disks of 3 items plus 1.
+	if a.NumDisks != 4 {
+		t.Fatalf("NumDisks=%d want 4 (3 items per disk + remainder)", a.NumDisks)
+	}
+	if err := a.CheckFeasible(items, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllLoadIntensive(t *testing.T) {
+	var items []Item
+	for i := 0; i < 10; i++ {
+		items = append(items, Item{ID: i, Size: 0.05, Load: 0.5})
+	}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 5 {
+		t.Fatalf("NumDisks=%d want 5 (2 items per disk by load)", a.NumDisks)
+	}
+}
+
+func TestFullSizeItems(t *testing.T) {
+	items := []Item{{ID: 0, Size: 1, Load: 0}, {ID: 1, Size: 1, Load: 0}}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 2 {
+		t.Fatalf("NumDisks=%d want 2", a.NumDisks)
+	}
+}
+
+func TestFullLoadItems(t *testing.T) {
+	items := []Item{{ID: 0, Size: 0, Load: 1}, {ID: 1, Size: 0, Load: 1}}
+	a, err := PackDisks(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 2 {
+		t.Fatalf("NumDisks=%d want 2", a.NumDisks)
+	}
+}
+
+func TestDisksAndTotals(t *testing.T) {
+	items := []Item{
+		{ID: 0, Size: 0.6, Load: 0.2},
+		{ID: 1, Size: 0.5, Load: 0.2},
+		{ID: 2, Size: 0.2, Load: 0.7},
+		{ID: 3, Size: 0.1, Load: 0.5},
+	}
+	a, _ := PackDisks(items)
+	disks := a.Disks()
+	if len(disks) != a.NumDisks {
+		t.Fatalf("Disks() returned %d groups want %d", len(disks), a.NumDisks)
+	}
+	total := 0
+	for _, g := range disks {
+		total += len(g)
+	}
+	if total != len(items) {
+		t.Fatalf("Disks() covers %d items want %d", total, len(items))
+	}
+	sizes, loads := a.Totals(items)
+	var ss, ll float64
+	for d := range sizes {
+		ss += sizes[d]
+		ll += loads[d]
+	}
+	if math.Abs(ss-1.4) > 1e-12 || math.Abs(ll-1.6) > 1e-12 {
+		t.Fatalf("totals don't conserve mass: sizes=%v loads=%v", ss, ll)
+	}
+}
+
+func TestFirstFitAndFriendsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	algos := map[string]func([]Item) (*Assignment, error){
+		"FirstFit":           FirstFit,
+		"BestFit":            BestFit,
+		"FirstFitDecreasing": FirstFitDecreasing,
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(150)
+		items := randInstance(rng, n, 0.05+rng.Float64()*0.9)
+		for name, algo := range algos {
+			a, err := algo(items)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			checkPartition(t, a, n)
+			if err := a.CheckFeasible(items, false); err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+		}
+	}
+}
+
+func TestFFDBeatsOrMatchesFirstFitUsually(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ffWins := 0
+	for trial := 0; trial < 50; trial++ {
+		items := randInstance(rng, 200, 0.5)
+		ff, _ := FirstFit(items)
+		ffd, _ := FirstFitDecreasing(items)
+		if ff.NumDisks < ffd.NumDisks {
+			ffWins++
+		}
+	}
+	if ffWins > 10 {
+		t.Errorf("plain FirstFit beat FFD in %d/50 trials — suspicious", ffWins)
+	}
+}
+
+func TestRandomAssignUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := randInstance(rng, 10000, 0.001)
+	a, err := RandomAssign(items, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks != 10 {
+		t.Fatalf("NumDisks=%d want 10", a.NumDisks)
+	}
+	counts := make([]int, 10)
+	for _, d := range a.DiskOf {
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("disk %d got %d items, expected ~1000", d, c)
+		}
+	}
+}
+
+func TestRandomAssignInvalidDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if _, err := RandomAssign(nil, 0, rng); err == nil {
+		t.Error("0 disks accepted")
+	}
+	if _, err := RandomAssignCapacity(nil, 0, rng); err == nil {
+		t.Error("0 disks accepted by capacity variant")
+	}
+}
+
+func TestRandomAssignCapacityRespectsSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 40 items of size 0.3: needs >= 12 units, give 15 disks.
+	var items []Item
+	for i := 0; i < 40; i++ {
+		items = append(items, Item{ID: i, Size: 0.3, Load: 0.9})
+	}
+	a, err := RandomAssignCapacity(items, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(items, true); err != nil {
+		t.Fatal(err)
+	}
+	// Load is deliberately ignored by this allocator.
+	_, loads := a.Totals(items)
+	high := false
+	for _, l := range loads {
+		if l > 1 {
+			high = true
+		}
+	}
+	if !high {
+		t.Log("note: no disk exceeded load 1 — acceptable but unusual for this instance")
+	}
+}
+
+func TestRandomAssignCapacityReportsOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var items []Item
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{ID: i, Size: 0.9, Load: 0})
+	}
+	_, err := RandomAssignCapacity(items, 4, rng)
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("err=%v want ErrDoesNotFit", err)
+	}
+}
+
+func TestBuildItems(t *testing.T) {
+	serviceTime := func(size int64) float64 { return float64(size) / 72e6 }
+	sizes := []int64{720e6, 72e6}
+	rates := []float64{0.01, 0.05}
+	items, err := BuildItems(sizes, rates, serviceTime, 500e9, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(items[0].Size-720e6/500e9) > 1e-15 {
+		t.Errorf("size[0]=%v", items[0].Size)
+	}
+	// load = rate * serviceTime / capL = 0.01 * 10 / 0.8 = 0.125
+	if math.Abs(items[0].Load-0.125) > 1e-12 {
+		t.Errorf("load[0]=%v want 0.125", items[0].Load)
+	}
+	if items[0].ID != 0 || items[1].ID != 1 {
+		t.Error("IDs not assigned in order")
+	}
+}
+
+func TestBuildItemsErrors(t *testing.T) {
+	st := func(size int64) float64 { return 1 }
+	if _, err := BuildItems([]int64{1}, []float64{1, 2}, st, 10, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BuildItems([]int64{1}, []float64{1}, st, 0, 1); err == nil {
+		t.Error("zero capS accepted")
+	}
+	if _, err := BuildItems([]int64{100}, []float64{0.1}, st, 10, 1); err == nil {
+		t.Error("oversize file accepted")
+	}
+	if _, err := BuildItems([]int64{1}, []float64{100}, st, 10, 1); err == nil {
+		t.Error("overload file accepted")
+	}
+}
+
+// Property: PackDisks never opens more disks than items, and uses at
+// least the integral lower bound.
+func TestDiskCountSandwichProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8, rhoRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%150 + 1
+		rhoMax := 0.05 + float64(rhoRaw%90)/100.0
+		items := randInstance(rng, n, rhoMax)
+		a, err := PackDisks(items)
+		if err != nil {
+			return false
+		}
+		return a.NumDisks <= n && a.NumDisks >= LowerBoundDisks(items)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicating every item at most doubles (+1) the disks used.
+func TestDuplicationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		items := randInstance(rng, 50+rng.Intn(50), 0.4)
+		doubled := append(append([]Item{}, items...), items...)
+		for i := range doubled {
+			doubled[i].ID = i
+		}
+		a, _ := PackDisks(items)
+		b, _ := PackDisks(doubled)
+		if b.NumDisks > 2*a.NumDisks+2 {
+			t.Fatalf("doubling items exploded disks: %d -> %d", a.NumDisks, b.NumDisks)
+		}
+	}
+}
+
+func BenchmarkPackDisks1k(b *testing.B)  { benchPack(b, PackDisks, 1000) }
+func BenchmarkPackDisks10k(b *testing.B) { benchPack(b, PackDisks, 10000) }
+func BenchmarkPackDisks40k(b *testing.B) { benchPack(b, PackDisks, 40000) }
+
+func BenchmarkChangHwangPark1k(b *testing.B)  { benchPack(b, ChangHwangPark, 1000) }
+func BenchmarkChangHwangPark10k(b *testing.B) { benchPack(b, ChangHwangPark, 10000) }
+
+func BenchmarkPackDisksV4_10k(b *testing.B) {
+	benchPack(b, func(items []Item) (*Assignment, error) { return PackDisksV(items, 4) }, 10000)
+}
+
+func benchPack(b *testing.B, algo func([]Item) (*Assignment, error), n int) {
+	rng := rand.New(rand.NewSource(99))
+	items := skewedInstance(rng, n, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algo(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+// Package disk models a single hard disk drive with the multi-mode
+// power behaviour the paper simulates (Figure 1, Table 2): active
+// read/write, seek, idle, standby, and the timed spin-up / spin-down
+// transitions between them, plus the fixed idleness-threshold spin-down
+// policy used by MAID-style systems.
+//
+// The default parameter set is the Seagate ST3500630AS (Barracuda
+// 7200.10) exactly as listed in the paper's Table 2. With those numbers
+// the break-even idleness threshold — the standby duration whose power
+// saving repays one spin-down + spin-up cycle — evaluates to 53.3 s,
+// matching the paper.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"diskpack/internal/sim"
+)
+
+// Params describes a disk drive's performance and power envelope.
+// All times are seconds, powers are watts, sizes are bytes, and
+// TransferRate is bytes per second.
+type Params struct {
+	Model           string
+	RotationalRPM   int
+	AvgSeekTime     float64
+	AvgRotationTime float64
+	CapacityBytes   int64
+	TransferRate    float64
+	IdlePower       float64
+	StandbyPower    float64
+	ActivePower     float64
+	SeekPower       float64
+	SpinUpPower     float64
+	SpinDownPower   float64
+	SpinUpTime      float64
+	SpinDownTime    float64
+}
+
+// MB and GB are decimal byte units, matching the disk-vendor convention
+// the paper uses (72 MB/s transfer, 188 MB minimum file size, ...).
+const (
+	KB = 1000
+	MB = 1000 * KB
+	GB = 1000 * MB
+	TB = 1000 * GB
+)
+
+// DefaultParams returns the Seagate ST3500630AS parameters from the
+// paper's Table 2.
+func DefaultParams() Params {
+	return Params{
+		Model:           "Seagate ST3500630AS",
+		RotationalRPM:   7200,
+		AvgSeekTime:     8.5e-3,
+		AvgRotationTime: 4.16e-3,
+		CapacityBytes:   500 * GB,
+		TransferRate:    72 * MB,
+		IdlePower:       9.3,
+		StandbyPower:    0.8,
+		ActivePower:     13,
+		SeekPower:       12.6,
+		SpinUpPower:     24,
+		SpinDownPower:   9.3,
+		SpinUpTime:      15,
+		SpinDownTime:    10,
+	}
+}
+
+// Validate reports the first implausible parameter, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.TransferRate <= 0:
+		return fmt.Errorf("disk: TransferRate %v must be positive", p.TransferRate)
+	case p.CapacityBytes <= 0:
+		return fmt.Errorf("disk: CapacityBytes %d must be positive", p.CapacityBytes)
+	case p.AvgSeekTime < 0 || p.AvgRotationTime < 0:
+		return fmt.Errorf("disk: negative positioning time")
+	case p.SpinUpTime < 0 || p.SpinDownTime < 0:
+		return fmt.Errorf("disk: negative transition time")
+	case p.IdlePower < 0 || p.StandbyPower < 0 || p.ActivePower < 0 ||
+		p.SeekPower < 0 || p.SpinUpPower < 0 || p.SpinDownPower < 0:
+		return fmt.Errorf("disk: negative power")
+	case p.StandbyPower > p.IdlePower:
+		return fmt.Errorf("disk: standby power %v exceeds idle power %v — spin-down would never save energy",
+			p.StandbyPower, p.IdlePower)
+	}
+	return nil
+}
+
+// PositioningTime returns the average positioning overhead per request
+// (seek + rotational latency).
+func (p Params) PositioningTime() float64 { return p.AvgSeekTime + p.AvgRotationTime }
+
+// TransferTime returns the time to stream size bytes at the sustained
+// rate.
+func (p Params) TransferTime(size int64) float64 {
+	return float64(size) / p.TransferRate
+}
+
+// ServiceTime returns positioning plus transfer time for a whole-file
+// read of size bytes; this is the µ_i = f(s_i) of the paper's load
+// definition l_i = R·p_i·µ_i.
+func (p Params) ServiceTime(size int64) float64 {
+	return p.PositioningTime() + p.TransferTime(size)
+}
+
+// TransitionEnergy returns the energy in joules consumed by one
+// spin-down followed by one spin-up.
+func (p Params) TransitionEnergy() float64 {
+	return p.SpinDownPower*p.SpinDownTime + p.SpinUpPower*p.SpinUpTime
+}
+
+// BreakEvenThreshold returns the idleness threshold used by the paper
+// (after Pinheiro & Bianchini): the time the disk must remain in standby
+// for the idle-vs-standby power difference to pay back one
+// spin-down+spin-up cycle. For Table 2 parameters this is
+// (9.3·10 + 24·15) / (9.3 − 0.8) = 453/8.5 = 53.29… ≈ 53.3 s.
+func (p Params) BreakEvenThreshold() float64 {
+	saving := p.IdlePower - p.StandbyPower
+	if saving <= 0 {
+		return math.Inf(1)
+	}
+	return p.TransitionEnergy() / saving
+}
+
+// State enumerates the power states of the simulated drive.
+type State int
+
+// Disk power states. Seeking covers seek + rotational positioning (at
+// seek power); Transferring is the sustained read (at active power).
+const (
+	Idle State = iota
+	Standby
+	SpinningUp
+	SpinningDown
+	Seeking
+	Transferring
+	numStates
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Standby:
+		return "standby"
+	case SpinningUp:
+		return "spinup"
+	case SpinningDown:
+		return "spindown"
+	case Seeking:
+		return "seek"
+	case Transferring:
+		return "active"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Power returns the wattage drawn in state s under params p.
+func (p Params) Power(s State) float64 {
+	switch s {
+	case Idle:
+		return p.IdlePower
+	case Standby:
+		return p.StandbyPower
+	case SpinningUp:
+		return p.SpinUpPower
+	case SpinningDown:
+		return p.SpinDownPower
+	case Seeking:
+		return p.SeekPower
+	case Transferring:
+		return p.ActivePower
+	default:
+		panic(fmt.Sprintf("disk: unknown state %d", int(s)))
+	}
+}
+
+// NeverSpinDown disables the spin-down policy when used as the idleness
+// threshold: the disk idles at full idle power forever, which is the
+// paper's "no power-saving mechanism" normalization baseline.
+var NeverSpinDown = math.Inf(1)
+
+// SpinPolicy decides how long a disk dwells in the idle state before
+// spinning down. The paper uses a fixed break-even threshold (Section
+// 4, after Pinheiro & Bianchini); the dynamic-power-management
+// literature it surveys (Section 2) studies adaptive and randomized
+// timeout policies, implemented in internal/policy.
+type SpinPolicy interface {
+	// Timeout returns the idleness timeout in seconds to use for the
+	// next idle period. math.Inf(1) means never spin down; 0 means
+	// spin down immediately.
+	Timeout() float64
+	// ObserveIdle reports the length of a completed idle gap — the
+	// time from entering idle (service completion) to the next
+	// request arrival — letting adaptive policies learn. Gaps that
+	// are still open when the simulation ends are not reported.
+	ObserveIdle(gap float64)
+}
+
+// fixedPolicy is the paper's fixed idleness threshold.
+type fixedPolicy float64
+
+func (f fixedPolicy) Timeout() float64  { return float64(f) }
+func (fixedPolicy) ObserveIdle(float64) {}
+
+// Request is a whole-file read submitted to a disk. Done, if non-nil,
+// runs at completion time with the request itself; response time is
+// completion minus Arrival (queueing + spin-up penalty + service).
+type Request struct {
+	FileID  int
+	Size    int64
+	Arrival sim.Time
+	Done    func(*Request, sim.Time)
+
+	// ServiceStart records when the disk began positioning for this
+	// request, for wait-time decomposition.
+	ServiceStart sim.Time
+}
+
+// Disk is a simulated drive bound to a sim.Env. Submit requests with
+// Submit; spin-down policy, queueing, and energy accounting are
+// internal. Metrics accessors are valid any time; call Finalize once at
+// the end of the run to close the last accounting segment.
+type Disk struct {
+	ID     int
+	env    *sim.Env
+	params Params
+	policy SpinPolicy
+
+	state      State
+	lastChange sim.Time
+	idleSince  sim.Time // start of the current idle gap
+	inGap      bool
+	energy     float64
+	stateDur   [numStates]float64
+
+	queue     []*Request
+	idleTimer *sim.Event
+	wantUp    bool // a request arrived while spinning down
+
+	spinUps   int
+	spinDowns int
+	served    int64
+	bytesRead int64
+	peakQueue int
+	finalized bool
+}
+
+// New returns a disk in the Idle (spinning) state with its idleness
+// timer armed, matching the paper's simulation start condition.
+// threshold is the fixed idleness threshold in seconds; use
+// params.BreakEvenThreshold() for the paper's policy or NeverSpinDown to
+// disable spin-down. New panics on invalid params or negative threshold.
+func New(env *sim.Env, id int, params Params, threshold float64) *Disk {
+	if threshold < 0 || math.IsNaN(threshold) {
+		panic(fmt.Sprintf("disk: invalid idleness threshold %v", threshold))
+	}
+	return NewWithPolicy(env, id, params, fixedPolicy(threshold))
+}
+
+// NewWithPolicy returns a disk whose spin-down timing is governed by an
+// arbitrary SpinPolicy (see internal/policy for adaptive and randomized
+// implementations).
+func NewWithPolicy(env *sim.Env, id int, params Params, pol SpinPolicy) *Disk {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if pol == nil {
+		panic("disk: nil SpinPolicy")
+	}
+	d := &Disk{
+		ID:         id,
+		env:        env,
+		params:     params,
+		policy:     pol,
+		state:      Idle,
+		lastChange: env.Now(),
+		idleSince:  env.Now(),
+		inGap:      true,
+	}
+	d.armIdleTimer()
+	return d
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// State returns the current power state.
+func (d *Disk) State() State { return d.state }
+
+// QueueLen returns the number of requests waiting or in service.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Served returns the number of completed requests.
+func (d *Disk) Served() int64 { return d.served }
+
+// BytesRead returns the total bytes transferred.
+func (d *Disk) BytesRead() int64 { return d.bytesRead }
+
+// SpinUps returns the number of spin-up transitions performed.
+func (d *Disk) SpinUps() int { return d.spinUps }
+
+// SpinDowns returns the number of spin-down transitions performed.
+func (d *Disk) SpinDowns() int { return d.spinDowns }
+
+// PeakQueueLen returns the largest queue length observed (including the
+// request in service).
+func (d *Disk) PeakQueueLen() int { return d.peakQueue }
+
+// Submit enqueues a whole-file read. If the disk is in standby it begins
+// spinning up; if it is mid-spin-down the spin-down completes first and
+// a spin-up follows immediately (a drive cannot abort a spin-down).
+func (d *Disk) Submit(req *Request) {
+	if d.finalized {
+		panic("disk: Submit after Finalize")
+	}
+	if d.inGap {
+		// The idle gap that began at the last service completion ends
+		// now; adaptive policies learn from its length.
+		d.policy.ObserveIdle(d.env.Now() - d.idleSince)
+		d.inGap = false
+	}
+	d.queue = append(d.queue, req)
+	if len(d.queue) > d.peakQueue {
+		d.peakQueue = len(d.queue)
+	}
+	switch d.state {
+	case Idle:
+		d.cancelIdleTimer()
+		d.startNext()
+	case Standby:
+		d.beginSpinUp()
+	case SpinningDown:
+		d.wantUp = true
+	case SpinningUp, Seeking, Transferring:
+		// Queued; the in-flight transition or service will drain it.
+	}
+}
+
+// transition moves to state s, charging the elapsed segment to the
+// previous state.
+func (d *Disk) transition(s State) {
+	now := d.env.Now()
+	dt := now - d.lastChange
+	d.energy += d.params.Power(d.state) * dt
+	d.stateDur[d.state] += dt
+	d.state = s
+	d.lastChange = now
+}
+
+// enterIdle transitions to Idle with an empty queue, opening a new
+// idle gap and arming the policy's timeout.
+func (d *Disk) enterIdle() {
+	d.transition(Idle)
+	d.idleSince = d.env.Now()
+	d.inGap = true
+	d.armIdleTimer()
+}
+
+func (d *Disk) armIdleTimer() {
+	t := d.policy.Timeout()
+	if math.IsInf(t, 1) {
+		return
+	}
+	if t < 0 || math.IsNaN(t) {
+		panic(fmt.Sprintf("disk: policy returned invalid timeout %v", t))
+	}
+	d.idleTimer = d.env.Schedule(t, d.onIdleTimeout)
+}
+
+func (d *Disk) cancelIdleTimer() {
+	if d.idleTimer != nil {
+		d.idleTimer.Cancel()
+		d.idleTimer = nil
+	}
+}
+
+func (d *Disk) onIdleTimeout() {
+	d.idleTimer = nil
+	if d.state != Idle || len(d.queue) > 0 {
+		return
+	}
+	d.transition(SpinningDown)
+	d.spinDowns++
+	d.env.Schedule(d.params.SpinDownTime, d.onSpinDownComplete)
+}
+
+func (d *Disk) onSpinDownComplete() {
+	if d.wantUp || len(d.queue) > 0 {
+		d.wantUp = false
+		// Charge the completed spin-down segment, then immediately
+		// start spinning back up.
+		d.beginSpinUp()
+		return
+	}
+	d.transition(Standby)
+}
+
+func (d *Disk) beginSpinUp() {
+	d.transition(SpinningUp)
+	d.spinUps++
+	d.env.Schedule(d.params.SpinUpTime, d.onSpinUpComplete)
+}
+
+func (d *Disk) onSpinUpComplete() {
+	if len(d.queue) > 0 {
+		d.startNext()
+		return
+	}
+	d.enterIdle()
+}
+
+// startNext begins servicing the queue head. Caller guarantees the disk
+// is spinning (Idle or just finished SpinningUp/Transferring).
+func (d *Disk) startNext() {
+	req := d.queue[0]
+	req.ServiceStart = d.env.Now()
+	d.transition(Seeking)
+	d.env.Schedule(d.params.PositioningTime(), func() {
+		d.transition(Transferring)
+		d.env.Schedule(d.params.TransferTime(req.Size), func() {
+			d.completeRequest(req)
+		})
+	})
+}
+
+func (d *Disk) completeRequest(req *Request) {
+	// Dequeue head (must be req: FIFO single-server).
+	d.queue[0] = nil
+	d.queue = d.queue[1:]
+	d.served++
+	d.bytesRead += req.Size
+	if req.Done != nil {
+		req.Done(req, d.env.Now())
+	}
+	if len(d.queue) > 0 {
+		d.startNext()
+		return
+	}
+	d.enterIdle()
+}
+
+// Finalize closes the open accounting segment at the current simulated
+// time. Further Submits panic; metrics accessors return final values.
+// Calling Finalize more than once is a no-op after the first.
+func (d *Disk) Finalize() {
+	if d.finalized {
+		return
+	}
+	d.transition(d.state) // charge the tail segment
+	d.cancelIdleTimer()
+	d.finalized = true
+}
+
+// Energy returns the energy consumed so far in joules (up to the last
+// state change; call Finalize for an exact end-of-run figure).
+func (d *Disk) Energy() float64 { return d.energy }
+
+// EnergyAt returns the energy consumed through simulated time t >= the
+// last state change, extending the current state.
+func (d *Disk) EnergyAt(t sim.Time) float64 {
+	return d.energy + d.params.Power(d.state)*(t-d.lastChange)
+}
+
+// StateDuration returns the cumulative time spent in state s (up to the
+// last state change).
+func (d *Disk) StateDuration(s State) float64 { return d.stateDur[s] }
+
+// Breakdown summarizes where a disk's time and energy went.
+type Breakdown struct {
+	Durations [numStates]float64
+	Energy    float64
+	SpinUps   int
+	SpinDowns int
+	Served    int64
+	BytesRead int64
+}
+
+// Breakdown returns the current accounting snapshot.
+func (d *Disk) Breakdown() Breakdown {
+	return Breakdown{
+		Durations: d.stateDur,
+		Energy:    d.energy,
+		SpinUps:   d.spinUps,
+		SpinDowns: d.spinDowns,
+		Served:    d.served,
+		BytesRead: d.bytesRead,
+	}
+}

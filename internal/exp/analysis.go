@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/model"
+	"diskpack/internal/storage"
+)
+
+// Analysis validates the closed-form M/G/1 model (internal/model)
+// against the discrete-event simulator on the Table 1 workload: for
+// each load constraint L, it packs with Pack_Disks and compares the
+// analytic farm power and mean response time with the simulated ones.
+// This makes the paper's implicit claim — that bounding per-disk load
+// bounds response time — quantitative.
+func Analysis(opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	params := disk.DefaultParams()
+	const R = 6
+	cfg := scaledSynthetic(opts, R, 0)
+	tr, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	Ls := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	farm := opts.scaleCount(synthFarmBase, 4)
+	assigns := make([]*core.Assignment, len(Ls))
+	for i, L := range Ls {
+		items, err := packItems(tr.Files, params, L)
+		if err != nil {
+			return nil, fmt.Errorf("L=%v: %w", L, err)
+		}
+		a, err := core.PackDisks(items)
+		if err != nil {
+			return nil, err
+		}
+		assigns[i] = a
+		if a.NumDisks > farm {
+			farm = a.NumDisks
+		}
+	}
+	table := &Table{
+		Name:    "analysis",
+		Title:   "M/G/1 analytic model vs discrete-event simulation (Table 1 workload, R=6)",
+		XLabel:  "L",
+		Columns: []string{"PredResp(s)", "SimResp(s)", "PredPower(W)", "SimPower(W)", "MaxRho"},
+	}
+	threshold := params.BreakEvenThreshold()
+	rows := make([][]float64, len(Ls))
+	err = parallelFor(len(Ls), opts.workers(), func(i int) error {
+		loads, err := model.AnalyzeAssignment(tr.Files, assigns[i].DiskOf, farm, params)
+		if err != nil {
+			return err
+		}
+		pred := model.PredictFarm(loads, params, threshold)
+		res, err := storage.Run(tr, assigns[i].DiskOf, storage.Config{
+			NumDisks:      farm,
+			DiskParams:    params,
+			IdleThreshold: threshold,
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = []float64{Ls[i],
+			pred.MeanResponse + pred.SpinPenalty, res.RespMean,
+			pred.AvgPower, res.AvgPower,
+			pred.MaxUtilization,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.Rows = rows
+	table.SortByX()
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("farm %d disks; threshold %.1f s; prediction is mean-value (independent M/G/1 disks + renewal gap model)", farm, threshold))
+	return table, nil
+}

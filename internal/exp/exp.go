@@ -1,0 +1,241 @@
+// Package exp defines the paper's experiments — one per table and
+// figure of the evaluation section — and a parallel harness that
+// regenerates them. Each experiment returns Tables whose rows are the
+// series the paper plots, so the CLI (cmd/experiments), the root
+// benchmarks, and EXPERIMENTS.md all derive from the same code.
+//
+// Experiments accept an Options.Scale in (0, 1] that shrinks the
+// workload (files, requests, farm) proportionally; shape conclusions
+// survive scaling, which keeps `go test` and `go test -bench` fast
+// while `cmd/experiments -scale 1` reproduces the full paper setup.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale in (0, 1] shrinks file counts, request counts, and farm
+	// sizes. 1 reproduces the paper's setup.
+	Scale float64
+	// Seed makes runs reproducible; different seeds give independent
+	// workload draws.
+	Seed int64
+	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns full-scale, seeded, fully parallel options.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+// Validate reports the first invalid option.
+func (o Options) Validate() error {
+	if !(o.Scale > 0 && o.Scale <= 1) || math.IsNaN(o.Scale) {
+		return fmt.Errorf("exp: scale %v outside (0,1]", o.Scale)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("exp: negative workers %d", o.Workers)
+	}
+	return nil
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scaleCount scales an integer quantity, keeping at least min.
+func (o Options) scaleCount(n, min int) int {
+	s := int(math.Round(float64(n) * o.Scale))
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// Table is a named grid of results: one column of x-values followed by
+// one column per series.
+type Table struct {
+	Name    string   // registry key, e.g. "fig2"
+	Title   string   // human description
+	XLabel  string   // name of column 0
+	Columns []string // series names (columns 1..)
+	Rows    [][]float64
+	// Notes carry experiment-level observations (farm sizes, packing
+	// stats) that don't fit the grid.
+	Notes []string
+}
+
+// AddRow appends a row; the first element is the x-value.
+func (t *Table) AddRow(x float64, ys ...float64) {
+	row := append([]float64{x}, ys...)
+	if len(row) != len(t.Columns)+1 {
+		panic(fmt.Sprintf("exp: table %s row has %d values, want %d", t.Name, len(ys), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Column returns the values of the named series.
+func (t *Table) Column(name string) ([]float64, bool) {
+	for ci, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for ri, row := range t.Rows {
+				out[ri] = row[ci+1]
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// X returns the x-values column.
+func (t *Table) X() []float64 {
+	out := make([]float64, len(t.Rows))
+	for ri, row := range t.Rows {
+		out[ri] = row[0]
+	}
+	return out
+}
+
+// SortByX orders rows by ascending x-value (parallel execution may
+// complete rows out of order).
+func (t *Table) SortByX() {
+	sort.SliceStable(t.Rows, func(a, b int) bool { return t.Rows[a][0] < t.Rows[b][0] })
+}
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.Name, t.Title)
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	cells := make([][]string, len(t.Rows))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for ri, row := range t.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatCell(v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, h := range headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000 || (math.Abs(v) < 0.001 && v != 0):
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
+// and returns the first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

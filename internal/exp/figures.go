@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
+	"diskpack/internal/workload"
+)
+
+// synthFarmBase is the paper's Table 1 farm size.
+const synthFarmBase = 100
+
+// scaledSynthetic returns the Table 1 workload config shrunk by
+// opts.Scale. File count and file sizes scale together: per-file load
+// is ∝ R·µ_i/n under the Zipf popularity, so shrinking n alone would
+// inflate loads past the L constraint; shrinking sizes by the same
+// factor preserves the paper's load profile at any scale (scale 1 is
+// exactly Table 1).
+func scaledSynthetic(opts Options, arrivalRate float64, seedOff int64) workload.Synthetic {
+	cfg := workload.DefaultSynthetic(arrivalRate, opts.Seed+seedOff)
+	cfg.NumFiles = opts.scaleCount(cfg.NumFiles, 200)
+	if opts.Scale < 1 {
+		f := float64(cfg.NumFiles) / 40000
+		cfg.MinSize = int64(float64(cfg.MinSize) * f)
+		if cfg.MinSize < disk.MB {
+			cfg.MinSize = disk.MB
+		}
+		cfg.MaxSize = int64(float64(cfg.MaxSize) * f)
+		if cfg.MaxSize < 2*cfg.MinSize {
+			cfg.MaxSize = 2 * cfg.MinSize
+		}
+	}
+	return cfg
+}
+
+// packSynthetic builds packing items from a synthetic population using
+// capL as the load constraint (fraction of the disk's service
+// capability) and returns the PackDisks assignment.
+func packItems(files []trace.FileInfo, params disk.Params, capL float64) ([]core.Item, error) {
+	sizes := make([]int64, len(files))
+	rates := make([]float64, len(files))
+	for i, f := range files {
+		sizes[i] = f.Size
+		rates[i] = f.Rate
+	}
+	return core.BuildItems(sizes, rates, params.ServiceTime, params.CapacityBytes, capL)
+}
+
+// fig23Point holds one (R, L) measurement.
+type fig23Point struct {
+	r      float64
+	lIdx   int
+	saving float64 // 1 - E_pack/E_rnd
+	ratio  float64 // resp_pack / resp_rnd
+}
+
+// Fig23 runs the Figures 2 and 3 sweep: Pack_Disks versus random
+// placement on the Table 1 workload, arrival rate R = 1..12, load
+// constraint L ∈ {50, 60, 70, 80}%. Figure 2 reports the power-saving
+// ratio relative to random placement; Figure 3 the response-time
+// ratio.
+func Fig23(opts Options) (fig2, fig3 *Table, err error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	params := disk.DefaultParams()
+	Ls := []float64{0.5, 0.6, 0.7, 0.8}
+	Rs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	farmBase := opts.scaleCount(synthFarmBase, 4)
+
+	cols := []string{"L=50%", "L=60%", "L=70%", "L=80%"}
+	fig2 = &Table{Name: "fig2", Title: "Power-saving ratio of Pack_Disks vs random placement", XLabel: "R", Columns: cols}
+	fig3 = &Table{Name: "fig3", Title: "Response-time ratio Pack_Disks / random placement", XLabel: "R", Columns: cols}
+
+	points := make([]fig23Point, len(Rs)*len(Ls))
+	err = parallelFor(len(Rs), opts.workers(), func(ri int) error {
+		R := Rs[ri]
+		cfg := scaledSynthetic(opts, R, int64(ri))
+		tr, err := cfg.Build()
+		if err != nil {
+			return err
+		}
+		// Pack once per L; all runs share the largest farm so energy
+		// totals are comparable.
+		assigns := make([]*core.Assignment, len(Ls))
+		farm := farmBase
+		for li, L := range Ls {
+			items, err := packItems(tr.Files, params, L)
+			if err != nil {
+				return fmt.Errorf("R=%v L=%v: %w", R, L, err)
+			}
+			a, err := core.PackDisks(items)
+			if err != nil {
+				return err
+			}
+			assigns[li] = a
+			if a.NumDisks > farm {
+				farm = a.NumDisks
+			}
+		}
+		rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(ri)))
+		items, err := packItems(tr.Files, params, Ls[len(Ls)-1])
+		if err != nil {
+			return err
+		}
+		rndAssign, err := core.RandomAssign(items, farm, rng)
+		if err != nil {
+			return err
+		}
+		simCfg := storage.Config{NumDisks: farm, DiskParams: params, IdleThreshold: storage.BreakEven}
+		rnd, err := storage.Run(tr, rndAssign.DiskOf, simCfg)
+		if err != nil {
+			return err
+		}
+		for li := range Ls {
+			pack, err := storage.Run(tr, assigns[li].DiskOf, simCfg)
+			if err != nil {
+				return err
+			}
+			pt := &points[ri*len(Ls)+li]
+			pt.r = R
+			pt.lIdx = li
+			if rnd.Energy > 0 {
+				pt.saving = 1 - pack.Energy/rnd.Energy
+			}
+			if rnd.RespMean > 0 {
+				pt.ratio = pack.RespMean / rnd.RespMean
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ri, R := range Rs {
+		savings := make([]float64, len(Ls))
+		ratios := make([]float64, len(Ls))
+		for li := range Ls {
+			pt := points[ri*len(Ls)+li]
+			savings[li] = pt.saving
+			ratios[li] = pt.ratio
+		}
+		fig2.AddRow(R, savings...)
+		fig3.AddRow(R, ratios...)
+	}
+	fig2.SortByX()
+	fig3.SortByX()
+	return fig2, fig3, nil
+}
+
+// Fig4 runs the Figure 4 sweep: farm power (W) and mean response time
+// (s) of Pack_Disks as the load constraint L varies from 0.4 to 0.9 at
+// fixed R = 6. Higher L packs the load onto fewer disks: less power,
+// longer queues.
+func Fig4(opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	params := disk.DefaultParams()
+	Ls := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
+	const R = 6
+	farmBase := opts.scaleCount(synthFarmBase, 4)
+
+	cfg := scaledSynthetic(opts, R, 0)
+	tr, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	// One farm size across all L so wattages are comparable.
+	assigns := make([]*core.Assignment, len(Ls))
+	farm := farmBase
+	for li, L := range Ls {
+		items, err := packItems(tr.Files, params, L)
+		if err != nil {
+			return nil, fmt.Errorf("L=%v: %w", L, err)
+		}
+		a, err := core.PackDisks(items)
+		if err != nil {
+			return nil, err
+		}
+		assigns[li] = a
+		if a.NumDisks > farm {
+			farm = a.NumDisks
+		}
+	}
+	table := &Table{
+		Name:    "fig4",
+		Title:   fmt.Sprintf("Power and response time vs load constraint L (R=%d)", R),
+		XLabel:  "L",
+		Columns: []string{"Power(W)", "RespTime(s)", "DisksUsed"},
+	}
+	rows := make([][]float64, len(Ls))
+	err = parallelFor(len(Ls), opts.workers(), func(li int) error {
+		res, err := storage.Run(tr, assigns[li].DiskOf,
+			storage.Config{NumDisks: farm, DiskParams: params, IdleThreshold: storage.BreakEven})
+		if err != nil {
+			return err
+		}
+		rows[li] = []float64{Ls[li], res.AvgPower, res.RespMean, float64(assigns[li].NumDisks)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, r)
+	}
+	table.SortByX()
+	table.Notes = append(table.Notes, fmt.Sprintf("farm size %d disks, %d files, R=%d/s", farm, cfg.NumFiles, R))
+	return table, nil
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/policy"
+	"diskpack/internal/storage"
+)
+
+// Policies runs the dynamic-power-management ablation the paper's
+// Section 2 surveys: on the NERSC workload, compare spin-down policies
+// — always-on, immediate, the paper's fixed break-even threshold
+// (2-competitive), the adaptive doubling/halving threshold, and the
+// randomized e/(e−1)-competitive policy — under both Pack_Disks and
+// random placement. It extends Figure 5's single policy axis with the
+// orthogonal question: once files are packed, how much does the
+// spin-down rule itself matter?
+func Policies(opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	setup, err := buildNERSC(opts)
+	if err != nil {
+		return nil, err
+	}
+	params := disk.DefaultParams()
+	type pol struct {
+		name    string
+		factory func(seed int64) func(int) disk.SpinPolicy
+	}
+	pols := []pol{
+		{"always-on", func(int64) func(int) disk.SpinPolicy {
+			return func(int) disk.SpinPolicy { return policy.AlwaysOn{} }
+		}},
+		{"immediate", func(int64) func(int) disk.SpinPolicy {
+			return func(int) disk.SpinPolicy { return policy.Immediate{} }
+		}},
+		{"break-even", func(int64) func(int) disk.SpinPolicy {
+			return func(int) disk.SpinPolicy { return policy.NewBreakEven(params) }
+		}},
+		{"adaptive", func(int64) func(int) disk.SpinPolicy {
+			return func(int) disk.SpinPolicy { return policy.NewAdaptive(params) }
+		}},
+		{"randomized", func(seed int64) func(int) disk.SpinPolicy {
+			return func(id int) disk.SpinPolicy { return policy.NewRandomized(params, seed+int64(id)) }
+		}},
+	}
+	table := &Table{
+		Name:   "policies",
+		Title:  "Spin-down policy ablation on the NERSC workload (extension of Fig. 5)",
+		XLabel: "policy",
+		Columns: []string{
+			"Pack:saving", "Pack:resp(s)", "Pack:spinups",
+			"RND:saving", "RND:resp(s)", "RND:spinups",
+		},
+	}
+	rows := make([][]float64, len(pols))
+	for pi := range rows {
+		rows[pi] = make([]float64, 7)
+		rows[pi][0] = float64(pi)
+	}
+	err = parallelFor(len(pols)*2, opts.workers(), func(k int) error {
+		pi, packSide := k/2, k%2 == 0
+		assign := setup.rnd
+		if packSide {
+			assign = setup.pack1
+		}
+		res, err := storage.Run(setup.tr, assign, storage.Config{
+			NumDisks:      setup.farm,
+			PolicyFactory: pols[pi].factory(opts.Seed + int64(pi)),
+		})
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", pols[pi].name, err)
+		}
+		off := 4
+		if packSide {
+			off = 1
+		}
+		rows[pi][off] = res.PowerSavingRatio
+		rows[pi][off+1] = res.RespMean
+		rows[pi][off+2] = float64(res.SpinUps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, r := range rows {
+		table.Rows = append(table.Rows, r)
+		table.Notes = append(table.Notes, fmt.Sprintf("policy %d = %s", pi, pols[pi].name))
+	}
+	return table, nil
+}

@@ -1,0 +1,169 @@
+// Package mheap provides generic binary heaps used throughout the
+// simulator and the Pack_Disks family of packing algorithms.
+//
+// Two flavours are provided:
+//
+//   - Heap[T]: a plain binary heap ordered by a user-supplied less
+//     function. With a "greater-than" comparison it is the max-heap the
+//     paper's Pack_Disks algorithm requires for the size-intensive (S~)
+//     and load-intensive (L~) element sets.
+//   - KV[K,V]: a convenience keyed heap storing (key, value) pairs
+//     ordered by key, matching the paper's usage where heap keys are the
+//     derived quantities s~ = s-l and l~ = l-s while values identify the
+//     original file.
+//
+// Construction from an existing slice is O(n) (bottom-up heapify); Push
+// and Pop are O(log n), Peek is O(1). The zero value of Heap is not
+// usable; use New or NewFromSlice.
+package mheap
+
+// Heap is a binary heap ordered by the less function supplied at
+// construction: the element x for which less(y, x) holds for every other
+// element y is at the top for a max-heap style comparison. Concretely,
+// Pop returns the element that is "first" under the ordering where
+// less(a, b) means a should be popped after b... To avoid confusion the
+// package adopts the container/heap convention: less(a, b) reports
+// whether a must be popped before b. For a max-heap over float keys pass
+// func(a, b T) bool { return key(a) > key(b) }.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap using less as the pop-priority predicate:
+// less(a, b) reports whether a has higher pop priority than b.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewFromSlice heapifies items in place (the heap takes ownership of the
+// slice) in O(n) time.
+func NewFromSlice[T any](items []T, less func(a, b T) bool) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+// Len reports the number of elements currently stored.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap holds no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts v in O(log n).
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the highest-priority element without removing it. The
+// second result is false when the heap is empty.
+func (h *Heap[T]) Peek() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the highest-priority element. The second
+// result is false when the heap is empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release reference for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Clear removes all elements, retaining the allocated capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			best = right
+		}
+		if !h.less(h.items[best], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}
+
+// KV is a keyed heap of (key, value) pairs. With Max ordering the pair
+// with the largest key pops first; ties break arbitrarily.
+type KV[K float64 | int | int64, V any] struct {
+	h *Heap[kvPair[K, V]]
+}
+
+type kvPair[K float64 | int | int64, V any] struct {
+	key K
+	val V
+}
+
+// NewMaxKV returns an empty max-ordered keyed heap.
+func NewMaxKV[K float64 | int | int64, V any]() *KV[K, V] {
+	return &KV[K, V]{h: New(func(a, b kvPair[K, V]) bool { return a.key > b.key })}
+}
+
+// NewMinKV returns an empty min-ordered keyed heap.
+func NewMinKV[K float64 | int | int64, V any]() *KV[K, V] {
+	return &KV[K, V]{h: New(func(a, b kvPair[K, V]) bool { return a.key < b.key })}
+}
+
+// Len reports the number of stored pairs.
+func (kv *KV[K, V]) Len() int { return kv.h.Len() }
+
+// Empty reports whether no pairs are stored.
+func (kv *KV[K, V]) Empty() bool { return kv.h.Empty() }
+
+// Push inserts the pair (key, val).
+func (kv *KV[K, V]) Push(key K, val V) { kv.h.Push(kvPair[K, V]{key, val}) }
+
+// Pop removes and returns the extremal pair.
+func (kv *KV[K, V]) Pop() (key K, val V, ok bool) {
+	p, ok := kv.h.Pop()
+	return p.key, p.val, ok
+}
+
+// Peek returns the extremal pair without removing it.
+func (kv *KV[K, V]) Peek() (key K, val V, ok bool) {
+	p, ok := kv.h.Peek()
+	return p.key, p.val, ok
+}

@@ -1,0 +1,226 @@
+package mheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	if h.Len() != 0 || !h.Empty() {
+		t.Fatalf("new heap not empty: len=%d", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap returned ok=true")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap returned ok=true")
+	}
+}
+
+func TestMaxHeapOrder(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	in := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	for _, v := range in {
+		h.Push(v)
+	}
+	want := append([]int(nil), in...)
+	sort.Sort(sort.Reverse(sort.IntSlice(want)))
+	for i, w := range want {
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d: got %d ok=%v, want %d", i, got, ok, w)
+		}
+	}
+	if !h.Empty() {
+		t.Errorf("heap not empty after draining, len=%d", h.Len())
+	}
+}
+
+func TestMinHeapOrder(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 2, 8, 1, 9, 0} {
+		h.Push(v)
+	}
+	want := []int{0, 1, 2, 5, 8, 9}
+	for _, w := range want {
+		got, _ := h.Pop()
+		if got != w {
+			t.Fatalf("got %d want %d", got, w)
+		}
+	}
+}
+
+func TestNewFromSlice(t *testing.T) {
+	in := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	h := NewFromSlice(append([]float64(nil), in...), func(a, b float64) bool { return a > b })
+	want := append([]float64(nil), in...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for _, w := range want {
+		got, _ := h.Pop()
+		if got != w {
+			t.Fatalf("got %v want %v", got, w)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	h.Push(1)
+	h.Push(7)
+	h.Push(3)
+	for i := 0; i < 3; i++ {
+		v, ok := h.Peek()
+		if !ok || v != 7 {
+			t.Fatalf("peek %d: got %d ok=%v, want 7", i, v, ok)
+		}
+	}
+	if h.Len() != 3 {
+		t.Errorf("peek changed length to %d", h.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatalf("heap not empty after Clear: %d", h.Len())
+	}
+	h.Push(42)
+	if v, _ := h.Pop(); v != 42 {
+		t.Errorf("heap unusable after Clear: got %d", v)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	rng := rand.New(rand.NewSource(7))
+	// Reference: a sorted multiset implemented with a slice.
+	var ref []int
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			ref = append(ref, v)
+			sort.Sort(sort.Reverse(sort.IntSlice(ref)))
+		} else {
+			got, ok := h.Pop()
+			if !ok {
+				t.Fatalf("step %d: heap empty but reference has %d", step, len(ref))
+			}
+			if got != ref[0] {
+				t.Fatalf("step %d: got %d want %d", step, got, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("step %d: len mismatch heap=%d ref=%d", step, h.Len(), len(ref))
+		}
+	}
+}
+
+// Property: for any input slice, draining the heap yields the input
+// sorted by descending value.
+func TestHeapSortProperty(t *testing.T) {
+	prop := func(in []float64) bool {
+		h := New(func(a, b float64) bool { return a > b })
+		for _, v := range in {
+			h.Push(v)
+		}
+		want := append([]float64(nil), in...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for _, w := range want {
+			got, ok := h.Pop()
+			if !ok || got != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NewFromSlice and repeated Push produce identical pop
+// sequences.
+func TestHeapifyEquivalenceProperty(t *testing.T) {
+	prop := func(in []int32) bool {
+		less := func(a, b int32) bool { return a > b }
+		a := NewFromSlice(append([]int32(nil), in...), less)
+		b := New(less)
+		for _, v := range in {
+			b.Push(v)
+		}
+		for !a.Empty() {
+			va, _ := a.Pop()
+			vb, ok := b.Pop()
+			if !ok || va != vb {
+				return false
+			}
+		}
+		return b.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVMaxOrder(t *testing.T) {
+	kv := NewMaxKV[float64, string]()
+	kv.Push(0.3, "c")
+	kv.Push(0.9, "a")
+	kv.Push(0.5, "b")
+	if kv.Len() != 3 {
+		t.Fatalf("len=%d want 3", kv.Len())
+	}
+	k, v, ok := kv.Peek()
+	if !ok || k != 0.9 || v != "a" {
+		t.Fatalf("peek got (%v,%q)", k, v)
+	}
+	wantKeys := []float64{0.9, 0.5, 0.3}
+	wantVals := []string{"a", "b", "c"}
+	for i := range wantKeys {
+		k, v, ok := kv.Pop()
+		if !ok || k != wantKeys[i] || v != wantVals[i] {
+			t.Fatalf("pop %d: got (%v,%q) want (%v,%q)", i, k, v, wantKeys[i], wantVals[i])
+		}
+	}
+	if _, _, ok := kv.Pop(); ok {
+		t.Error("pop on drained KV heap returned ok")
+	}
+}
+
+func TestKVMinOrder(t *testing.T) {
+	kv := NewMinKV[int, int]()
+	for _, k := range []int{5, 1, 4, 2, 3} {
+		kv.Push(k, k*10)
+	}
+	for want := 1; want <= 5; want++ {
+		k, v, ok := kv.Pop()
+		if !ok || k != want || v != want*10 {
+			t.Fatalf("got (%d,%d) want (%d,%d)", k, v, want, want*10)
+		}
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := New(func(a, b float64) bool { return a > b })
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(vals[i%len(vals)])
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}

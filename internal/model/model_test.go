@@ -1,0 +1,251 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
+)
+
+func TestUtilizationAndPK(t *testing.T) {
+	// M/M/1-like check: exponential service has ES2 = 2·ES².
+	d := DiskLoad{Lambda: 0.5, ES: 1.0, ES2: 2.0}
+	if got := d.Utilization(); got != 0.5 {
+		t.Fatalf("rho=%v", got)
+	}
+	// M/M/1: W = rho/(mu-lambda)·... mean wait = rho·ES/(1-rho) = 1.
+	if got := d.MeanWait(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("W=%v want 1 (M/M/1)", got)
+	}
+	if got := d.MeanResponse(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("T=%v want 2", got)
+	}
+}
+
+func TestDeterministicServicePK(t *testing.T) {
+	// M/D/1: ES2 = ES², W = rho·ES/(2(1-rho)) — half the M/M/1 wait.
+	d := DiskLoad{Lambda: 0.5, ES: 1.0, ES2: 1.0}
+	if got := d.MeanWait(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("W=%v want 0.5 (M/D/1)", got)
+	}
+}
+
+func TestOverloadedQueueInfiniteWait(t *testing.T) {
+	d := DiskLoad{Lambda: 2, ES: 1, ES2: 1}
+	if !math.IsInf(d.MeanWait(), 1) {
+		t.Fatal("rho>1 should predict infinite wait")
+	}
+}
+
+func TestAnalyzeAssignment(t *testing.T) {
+	p := disk.DefaultParams()
+	files := []trace.FileInfo{
+		{ID: 0, Size: 72 * disk.MB, Rate: 0.1},   // 1 s service
+		{ID: 1, Size: 720 * disk.MB, Rate: 0.01}, // 10 s service
+		{ID: 2, Size: 72 * disk.MB, Rate: 0.2},
+	}
+	loads, err := AnalyzeAssignment(files, []int{0, 0, 1}, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loads[0].Lambda-0.11) > 1e-12 {
+		t.Errorf("disk0 lambda=%v want 0.11", loads[0].Lambda)
+	}
+	s1 := p.ServiceTime(72 * disk.MB)
+	s10 := p.ServiceTime(720 * disk.MB)
+	wantES := (0.1*s1 + 0.01*s10) / 0.11
+	if math.Abs(loads[0].ES-wantES) > 1e-12 {
+		t.Errorf("disk0 ES=%v want %v", loads[0].ES, wantES)
+	}
+	wantES2 := (0.1*s1*s1 + 0.01*s10*s10) / 0.11
+	if math.Abs(loads[0].ES2-wantES2) > 1e-12 {
+		t.Errorf("disk0 ES2=%v want %v", loads[0].ES2, wantES2)
+	}
+	if loads[1].Lambda != 0.2 {
+		t.Errorf("disk1 lambda=%v", loads[1].Lambda)
+	}
+}
+
+func TestAnalyzeAssignmentErrors(t *testing.T) {
+	p := disk.DefaultParams()
+	files := []trace.FileInfo{{ID: 0, Size: 1, Rate: 1}}
+	if _, err := AnalyzeAssignment(files, []int{0, 1}, 2, p); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AnalyzeAssignment(files, []int{5}, 2, p); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+}
+
+// buildMG1Trace makes a Poisson single-disk workload from a small file
+// population with distinct sizes.
+func buildMG1Trace(rate float64, duration float64, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	files := []trace.FileInfo{
+		{ID: 0, Size: 72 * disk.MB, Rate: rate / 2},
+		{ID: 1, Size: 288 * disk.MB, Rate: rate / 4},
+		{ID: 2, Size: 720 * disk.MB, Rate: rate / 4},
+	}
+	tr := &trace.Trace{Files: files, Duration: duration}
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rate
+		if t >= duration {
+			break
+		}
+		u := rng.Float64()
+		fid := 0
+		if u >= 0.5 && u < 0.75 {
+			fid = 1
+		} else if u >= 0.75 {
+			fid = 2
+		}
+		tr.Requests = append(tr.Requests, trace.Request{Time: t, FileID: fid})
+	}
+	return tr
+}
+
+// TestPKMatchesSimulator validates the Pollaczek–Khinchine prediction
+// against the discrete-event simulator on a single always-on disk at
+// moderate utilization.
+func TestPKMatchesSimulator(t *testing.T) {
+	p := disk.DefaultParams()
+	// Mean service: 0.5*1.01 + 0.25*4.01 + 0.25*10.01 ≈ 4.02 s.
+	// Pick rate for rho ≈ 0.6.
+	s0 := p.ServiceTime(72 * disk.MB)
+	s1 := p.ServiceTime(288 * disk.MB)
+	s2 := p.ServiceTime(720 * disk.MB)
+	es := 0.5*s0 + 0.25*s1 + 0.25*s2
+	es2 := 0.5*s0*s0 + 0.25*s1*s1 + 0.25*s2*s2
+	rate := 0.6 / es
+	tr := buildMG1Trace(rate, 400000, 9)
+
+	res, err := storage.Run(tr, []int{0, 0, 0}, storage.Config{
+		NumDisks:      1,
+		IdleThreshold: disk.NeverSpinDown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := DiskLoad{Lambda: rate, ES: es, ES2: es2}.MeanResponse()
+	rel := math.Abs(res.RespMean-pred) / pred
+	if rel > 0.08 {
+		t.Fatalf("P-K prediction %v vs simulated %v (%.1f%% off)", pred, res.RespMean, rel*100)
+	}
+}
+
+// TestPredictFarmPowerMatchesSimulatorNoSpin: with spin-down disabled
+// the power model reduces to idle+service power, which the simulator
+// measures exactly.
+func TestPredictFarmPowerMatchesSimulatorNoSpin(t *testing.T) {
+	p := disk.DefaultParams()
+	rate := 0.05
+	tr := buildMG1Trace(rate, 200000, 10)
+	res, err := storage.Run(tr, []int{0, 0, 0}, storage.Config{
+		NumDisks:      1,
+		IdleThreshold: disk.NeverSpinDown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := AnalyzeAssignment(tr.Files, []int{0, 0, 0}, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictFarm(loads, p, math.Inf(1))
+	rel := math.Abs(pred.AvgPower-res.AvgPower) / res.AvgPower
+	if rel > 0.05 {
+		t.Fatalf("predicted power %v vs simulated %v (%.1f%% off)", pred.AvgPower, res.AvgPower, rel*100)
+	}
+	if pred.SpinUpRate != 0 {
+		t.Errorf("no-spin prediction has spin-ups: %v", pred.SpinUpRate)
+	}
+}
+
+// TestPredictFarmPowerWithSpinDown: at a sparse arrival rate and the
+// break-even threshold, the renewal model should land near the
+// simulator (mean-value model: allow 15%).
+func TestPredictFarmPowerWithSpinDown(t *testing.T) {
+	p := disk.DefaultParams()
+	rate := 0.002 // gaps ≈ 500 s >> 53.3 s threshold: mostly asleep
+	tr := buildMG1Trace(rate, 2000000, 11)
+	threshold := p.BreakEvenThreshold()
+	res, err := storage.Run(tr, []int{0, 0, 0}, storage.Config{
+		NumDisks:      1,
+		IdleThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := AnalyzeAssignment(tr.Files, []int{0, 0, 0}, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictFarm(loads, p, threshold)
+	rel := math.Abs(pred.AvgPower-res.AvgPower) / res.AvgPower
+	if rel > 0.15 {
+		t.Fatalf("predicted power %v vs simulated %v (%.1f%% off)", pred.AvgPower, res.AvgPower, rel*100)
+	}
+	// Spin-up rate: simulator counts should be within a factor ~1.5.
+	simRate := float64(res.SpinUps) / res.Duration
+	if pred.SpinUpRate < simRate/2 || pred.SpinUpRate > simRate*2 {
+		t.Fatalf("predicted spin-up rate %v vs simulated %v", pred.SpinUpRate, simRate)
+	}
+}
+
+func TestEmptyDiskPrediction(t *testing.T) {
+	p := disk.DefaultParams()
+	pred := PredictFarm([]DiskLoad{{}}, p, 53.3)
+	if math.Abs(pred.AvgPower-p.StandbyPower) > 1e-9 {
+		t.Fatalf("empty disk predicted %v W want standby %v", pred.AvgPower, p.StandbyPower)
+	}
+}
+
+func TestLoadConstraintInversion(t *testing.T) {
+	es, es2 := 4.0, 32.0
+	for _, budget := range []float64{5.0, 8.0, 20.0} {
+		L := LoadConstraintForResponse(budget, es, es2)
+		if L <= 0 || L >= 1 {
+			t.Fatalf("budget %v: L=%v", budget, L)
+		}
+		got := ResponseForLoadConstraint(L, es, es2)
+		if got > budget*1.001 {
+			t.Fatalf("budget %v: inverted L=%v gives response %v", budget, L, got)
+		}
+		// Monotone: slightly higher L must exceed the budget.
+		if ResponseForLoadConstraint(L+0.01, es, es2) < budget {
+			t.Fatalf("budget %v: L=%v not maximal", budget, L)
+		}
+	}
+}
+
+func TestLoadConstraintImpossibleBudget(t *testing.T) {
+	if got := LoadConstraintForResponse(1.0, 4.0, 32.0); got != 0 {
+		t.Fatalf("budget below service time should give 0, got %v", got)
+	}
+}
+
+func TestResponseForLoadConstraintEdges(t *testing.T) {
+	if !math.IsInf(ResponseForLoadConstraint(0, 1, 1), 1) {
+		t.Error("L=0 should be +Inf")
+	}
+	if !math.IsInf(ResponseForLoadConstraint(1, 1, 1), 1) {
+		t.Error("L=1 should be +Inf")
+	}
+}
+
+// Property: MeanResponse grows with utilization.
+func TestResponseMonotoneInLoad(t *testing.T) {
+	es, es2 := 4.0, 32.0
+	prev := 0.0
+	for L := 0.05; L < 0.95; L += 0.05 {
+		r := ResponseForLoadConstraint(L, es, es2)
+		if r <= prev {
+			t.Fatalf("response not monotone at L=%v: %v <= %v", L, r, prev)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,214 @@
+// Package policy implements the dynamic power management (DPM)
+// spin-down policies surveyed in the paper's Section 2 (Irani et al.'s
+// competitive-analysis line of work), pluggable into the disk model via
+// disk.SpinPolicy:
+//
+//   - Fixed: the paper's own policy — a constant idleness threshold,
+//     usually the break-even time. As an online algorithm for the
+//     "ski-rental" structure of the problem it is 2-competitive, and no
+//     deterministic policy does better.
+//   - Adaptive: a learning threshold that doubles after premature
+//     spin-downs and halves after long-undisturbed sleeps (in the
+//     style of Douglis et al.'s adaptive disk spin-down).
+//   - Randomized: draws each timeout from the exponential density
+//     f(t) = e^(t/β) / (β(e−1)) on [0, β] (β = break-even), the optimal
+//     randomized strategy with expected competitive ratio
+//     e/(e−1) ≈ 1.582.
+//   - AlwaysOn / Immediate: the two degenerate corners, used as
+//     baselines and in the normalization of Figure 5.
+//
+// The package also provides the analytic per-gap energy model
+// (GapEnergy, OptimalGapEnergy) on which the competitive ratios are
+// defined, so the guarantees are testable without a simulator.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diskpack/internal/disk"
+)
+
+// Fixed is a constant idleness threshold (the paper's policy).
+type Fixed struct {
+	T float64
+}
+
+// NewFixed returns a fixed-threshold policy.
+func NewFixed(t float64) *Fixed {
+	if t < 0 || math.IsNaN(t) {
+		panic(fmt.Sprintf("policy: invalid fixed threshold %v", t))
+	}
+	return &Fixed{T: t}
+}
+
+// NewBreakEven returns the paper's configuration: a fixed threshold at
+// the drive's break-even time (2-competitive).
+func NewBreakEven(p disk.Params) *Fixed { return &Fixed{T: p.BreakEvenThreshold()} }
+
+// Timeout implements disk.SpinPolicy.
+func (f *Fixed) Timeout() float64 { return f.T }
+
+// ObserveIdle implements disk.SpinPolicy (no adaptation).
+func (f *Fixed) ObserveIdle(float64) {}
+
+// String names the policy.
+func (f *Fixed) String() string { return fmt.Sprintf("fixed(%.3gs)", f.T) }
+
+// AlwaysOn never spins down — the paper's "no power-saving mechanism"
+// baseline.
+type AlwaysOn struct{}
+
+// Timeout implements disk.SpinPolicy.
+func (AlwaysOn) Timeout() float64 { return math.Inf(1) }
+
+// ObserveIdle implements disk.SpinPolicy.
+func (AlwaysOn) ObserveIdle(float64) {}
+
+// String names the policy.
+func (AlwaysOn) String() string { return "always-on" }
+
+// Immediate spins down the moment the queue drains (aggressive MAID).
+type Immediate struct{}
+
+// Timeout implements disk.SpinPolicy.
+func (Immediate) Timeout() float64 { return 0 }
+
+// ObserveIdle implements disk.SpinPolicy.
+func (Immediate) ObserveIdle(float64) {}
+
+// String names the policy.
+func (Immediate) String() string { return "immediate" }
+
+// Adaptive learns the threshold from observed idle gaps: a gap that
+// ends shortly after the disk spun down means the spin-down was a
+// mistake (the threshold doubles); a gap that far outlives the
+// threshold means energy was wasted waiting (the threshold halves).
+// The threshold stays within [Min, Max].
+type Adaptive struct {
+	T        float64
+	Min, Max float64
+	// Penalty is the gap-beyond-timeout window regarded as "premature
+	// spin-down": if timeout < gap < timeout+Penalty the policy backs
+	// off. A natural choice is the spin-down+spin-up time.
+	Penalty float64
+}
+
+// NewAdaptive returns an adaptive policy centred on the drive's
+// break-even threshold: initial T = break-even, range [T/8, 8T],
+// penalty window = one full spin cycle.
+func NewAdaptive(p disk.Params) *Adaptive {
+	be := p.BreakEvenThreshold()
+	return &Adaptive{
+		T:       be,
+		Min:     be / 8,
+		Max:     be * 8,
+		Penalty: p.SpinDownTime + p.SpinUpTime,
+	}
+}
+
+// Timeout implements disk.SpinPolicy.
+func (a *Adaptive) Timeout() float64 { return a.T }
+
+// ObserveIdle implements disk.SpinPolicy.
+func (a *Adaptive) ObserveIdle(gap float64) {
+	switch {
+	case gap > a.T && gap < a.T+a.Penalty:
+		// Spun down and was woken almost immediately: too eager.
+		a.T *= 2
+	case gap > 4*a.T:
+		// Waited out only a small part of a long gap: too timid.
+		a.T /= 2
+	}
+	if a.T < a.Min {
+		a.T = a.Min
+	}
+	if a.T > a.Max {
+		a.T = a.Max
+	}
+}
+
+// String names the policy.
+func (a *Adaptive) String() string { return fmt.Sprintf("adaptive(%.3gs)", a.T) }
+
+// Randomized draws every timeout from the density
+// f(t) = e^(t/β)/(β(e−1)) on [0, β], the optimal randomized strategy
+// for the two-state spin-down game; its expected competitive ratio is
+// e/(e−1) ≈ 1.582, beating every deterministic policy's 2.
+type Randomized struct {
+	Beta float64
+	rng  *rand.Rand
+}
+
+// NewRandomized returns the randomized policy for the drive's
+// break-even constant β, seeded deterministically.
+func NewRandomized(p disk.Params, seed int64) *Randomized {
+	return &Randomized{Beta: p.BreakEvenThreshold(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Timeout implements disk.SpinPolicy: inverse-CDF sampling of f.
+// CDF(t) = (e^(t/β) − 1)/(e − 1), so t = β·ln(1 + u(e−1)).
+func (r *Randomized) Timeout() float64 {
+	u := r.rng.Float64()
+	return r.Beta * math.Log(1+u*(math.E-1))
+}
+
+// ObserveIdle implements disk.SpinPolicy (no adaptation).
+func (r *Randomized) ObserveIdle(float64) {}
+
+// String names the policy.
+func (r *Randomized) String() string { return fmt.Sprintf("randomized(β=%.3gs)", r.Beta) }
+
+// GapEnergy returns the energy in joules a drive spends over an idle
+// gap of length gap when it uses the given spin-down timeout: idle
+// until the timeout, then a spin-down, standby dwell, and a spin-up
+// triggered by the arrival ending the gap. An arrival during the
+// spin-down still pays the full down+up cycle (a drive cannot abort a
+// spin-down); the spin-up itself happens after the gap ends and is
+// charged here because the timeout decision caused it.
+func GapEnergy(p disk.Params, timeout, gap float64) float64 {
+	if gap <= timeout {
+		return p.IdlePower * gap
+	}
+	e := p.IdlePower*timeout + p.SpinDownPower*p.SpinDownTime + p.SpinUpPower*p.SpinUpTime
+	if standby := gap - timeout - p.SpinDownTime; standby > 0 {
+		e += p.StandbyPower * standby
+	}
+	return e
+}
+
+// OptimalGapEnergy returns the energy of the offline optimum that
+// knows the gap length in advance: either stay idle throughout, or
+// spin down immediately.
+func OptimalGapEnergy(p disk.Params, gap float64) float64 {
+	return math.Min(GapEnergy(p, math.Inf(1), gap), GapEnergy(p, 0, gap))
+}
+
+// CompetitiveRatio returns the worst-case ratio of the fixed-timeout
+// policy's energy to the offline optimum over gaps up to horizon,
+// evaluated analytically at the critical points (the ratio is
+// piecewise monotone with its supremum at gap → timeout⁺ or at the
+// break-even point).
+func CompetitiveRatio(p disk.Params, timeout, horizon float64) float64 {
+	worst := 1.0
+	// Dense scan plus the analytic critical points.
+	probe := func(g float64) {
+		if g <= 0 || g > horizon {
+			return
+		}
+		if opt := OptimalGapEnergy(p, g); opt > 0 {
+			if r := GapEnergy(p, timeout, g) / opt; r > worst {
+				worst = r
+			}
+		}
+	}
+	be := p.BreakEvenThreshold()
+	for _, g := range []float64{timeout, timeout * 1.0000001, be, be * 1.0000001, horizon} {
+		probe(g)
+	}
+	for i := 1; i <= 4096; i++ {
+		probe(horizon * float64(i) / 4096)
+	}
+	return worst
+}

@@ -1,0 +1,454 @@
+// Package reorg implements the paper's semi-dynamic deployment mode
+// (Section 1): "accumulating access statistics over periodic intervals
+// and performing reorganization of file allocations." A Runner splits a
+// long trace into epochs; each epoch is simulated under the current
+// allocation, its measured per-file rates feed the packing algorithm
+// for the next epoch, and files whose disk changes are migrated at a
+// modeled cost (a read from the source plus a write to the target at
+// the drive's transfer rate and active power).
+//
+// Migration is charged between epochs rather than interleaved with
+// foreground requests — the paper envisions reorganization at quiet
+// periodic intervals — so its cost appears in the energy totals and in
+// the reported migration time, not in request response times.
+package reorg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
+)
+
+// Config parameterizes a semi-dynamic run.
+type Config struct {
+	// Epoch is the reorganization interval in seconds.
+	Epoch float64
+	// CapL is the packing load constraint (the paper's L).
+	CapL float64
+	// V selects Pack_Disks_v; 1 means plain Pack_Disks.
+	V int
+	// Farm fixes the farm size; 0 sizes it to the largest packing.
+	Farm int
+	// IdleThreshold is the spin-down threshold (storage.BreakEven for
+	// the drive's break-even time).
+	IdleThreshold float64
+	// DiskParams is the drive model (zero value → Table 2 drive).
+	DiskParams disk.Params
+	// Static disables reorganization: the initial allocation persists
+	// (the baseline the paper's Section 1 argues against when the
+	// workload drifts).
+	Static bool
+	// Incremental switches from full repacking to the paper's
+	// Section 6 proposal: migrate only files whose measured request
+	// rate deviates from the estimate used at allocation time by more
+	// than DeviationFactor, re-placing them first-fit into disks with
+	// slack. Full repacking reshuffles nearly everything (Pack_Disks
+	// is not stable under rate perturbations); incremental mode keeps
+	// the migration bill proportional to the actual drift.
+	Incremental bool
+	// DeviationFactor is the rate ratio (>1) that marks a file as
+	// mis-estimated in incremental mode; 0 means 4.
+	DeviationFactor float64
+	// MinLoadDelta is the smallest normalized load (fraction of one
+	// disk's load budget) a deviation must involve to justify a
+	// migration; rate-ratio noise among cold files is ignored below
+	// it. 0 means 0.002.
+	MinLoadDelta float64
+	// MinRate is the rate assigned to files unobserved in the
+	// previous epoch, so cold files keep a nonzero load estimate.
+	MinRate float64
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.DiskParams == (disk.Params{}) {
+		c.DiskParams = disk.DefaultParams()
+	}
+	if err := c.DiskParams.Validate(); err != nil {
+		return c, err
+	}
+	if c.Epoch <= 0 || math.IsNaN(c.Epoch) {
+		return c, fmt.Errorf("reorg: epoch %v must be positive", c.Epoch)
+	}
+	if c.CapL <= 0 || c.CapL > 1 {
+		return c, fmt.Errorf("reorg: load constraint %v outside (0,1]", c.CapL)
+	}
+	if c.V < 1 {
+		c.V = 1
+	}
+	if c.MinRate < 0 {
+		return c, fmt.Errorf("reorg: negative MinRate %v", c.MinRate)
+	}
+	if c.DeviationFactor == 0 {
+		c.DeviationFactor = 4
+	}
+	if c.DeviationFactor <= 1 {
+		return c, fmt.Errorf("reorg: deviation factor %v must exceed 1", c.DeviationFactor)
+	}
+	if c.MinLoadDelta == 0 {
+		c.MinLoadDelta = 0.002
+	}
+	if c.MinLoadDelta < 0 || c.MinLoadDelta >= 1 {
+		return c, fmt.Errorf("reorg: MinLoadDelta %v outside [0,1)", c.MinLoadDelta)
+	}
+	return c, nil
+}
+
+// EpochReport records one epoch's outcome.
+type EpochReport struct {
+	Start, End      float64
+	Requests        int
+	Energy          float64 // foreground energy, joules
+	RespMean        float64
+	SavingRatio     float64
+	MigratedFiles   int
+	MigratedBytes   int64
+	MigrationEnergy float64 // joules charged between epochs
+	MigrationTime   float64 // seconds of disk busy time (both ends)
+	DisksUsed       int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Epochs []EpochReport
+	// Energy is foreground + migration energy over the whole run.
+	Energy float64
+	// MigrationEnergy is the migration share of Energy.
+	MigrationEnergy float64
+	// RespMean is the request-weighted mean response over all epochs.
+	RespMean float64
+	// SavingRatio is 1 − Energy/NoSavingEnergy with migration charged
+	// to the numerator.
+	SavingRatio float64
+	// MigratedBytes is the total volume moved between epochs.
+	MigratedBytes int64
+	Farm          int
+}
+
+// Run executes the semi-dynamic simulation over the trace.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	epochs := splitEpochs(tr, cfg.Epoch)
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("reorg: trace has no epochs (duration %v, epoch %v)", tr.Duration, cfg.Epoch)
+	}
+
+	// Initial allocation: pack on the trace's stored (a-priori) rates.
+	assign, used, err := packWithRates(tr.Files, ratesOf(tr.Files), cfg)
+	if err != nil {
+		return nil, err
+	}
+	farm := cfg.Farm
+	if farm == 0 {
+		// Default headroom: repackings under measured rates often need
+		// a few more disks than the a-priori packing.
+		farm = used + max(2, used/10)
+	}
+	if farm < used {
+		farm = used
+	}
+
+	res := &Result{Farm: farm}
+	// estimates are the per-file rates the current allocation was
+	// packed with; incremental mode compares them against measurement.
+	estimates := ratesOf(tr.Files)
+	var totalNoSave, respWeighted float64
+	var totalReq int64
+	for ei, ep := range epochs {
+		simRes, err := storage.Run(ep, assign, storage.Config{
+			NumDisks:      farm,
+			DiskParams:    cfg.DiskParams,
+			IdleThreshold: cfg.IdleThreshold,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reorg: epoch %d: %w", ei, err)
+		}
+		report := EpochReport{
+			Start:       float64(ei) * cfg.Epoch,
+			End:         float64(ei)*cfg.Epoch + ep.Duration,
+			Requests:    len(ep.Requests),
+			Energy:      simRes.Energy,
+			RespMean:    simRes.RespMean,
+			SavingRatio: simRes.PowerSavingRatio,
+			DisksUsed:   used,
+		}
+		res.Energy += simRes.Energy
+		totalNoSave += simRes.NoSavingEnergy
+		respWeighted += simRes.RespMean * float64(simRes.Completed)
+		totalReq += simRes.Completed
+
+		// Reorganize for the next epoch using this epoch's measured
+		// rates.
+		if !cfg.Static && ei+1 < len(epochs) {
+			rates := ep.EmpiricalRates()
+			for i := range rates {
+				if rates[i] < cfg.MinRate {
+					rates[i] = cfg.MinRate
+				}
+			}
+			var next []int
+			var nextUsed int
+			if cfg.Incremental {
+				next, nextUsed, estimates = incrementalRepack(assign, estimates, rates, tr.Files, cfg, farm)
+			} else {
+				next, nextUsed, err = packWithRates(tr.Files, rates, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("reorg: repacking after epoch %d: %w", ei, err)
+				}
+				if nextUsed > farm {
+					// The farm cannot grow mid-run; fall back to
+					// keeping the allocation if the new packing needs
+					// more disks.
+					next = assign
+					nextUsed = used
+				} else {
+					// Pack_Disks numbers disks arbitrarily; relabel
+					// the new packing to maximize byte overlap with
+					// the old one so only genuinely re-placed files
+					// migrate.
+					next = relabelForOverlap(assign, next, tr.Files, farm)
+				}
+				estimates = rates
+			}
+			moved, bytes := diffAssignments(assign, next, tr.Files)
+			report.MigratedFiles = moved
+			report.MigratedBytes = bytes
+			// A migration reads the file from the source and writes
+			// it to the target: both drives busy for size/rate at
+			// active power.
+			perDisk := float64(bytes) / cfg.DiskParams.TransferRate
+			report.MigrationTime = 2 * perDisk
+			report.MigrationEnergy = 2 * perDisk * cfg.DiskParams.ActivePower
+			res.MigrationEnergy += report.MigrationEnergy
+			res.Energy += report.MigrationEnergy
+			res.MigratedBytes += bytes
+			assign, used = next, nextUsed
+		}
+		res.Epochs = append(res.Epochs, report)
+	}
+	if totalReq > 0 {
+		res.RespMean = respWeighted / float64(totalReq)
+	}
+	if totalNoSave > 0 {
+		res.SavingRatio = 1 - res.Energy/totalNoSave
+	}
+	return res, nil
+}
+
+// splitEpochs cuts the trace into epoch-long sub-traces with times
+// rebased to zero.
+func splitEpochs(tr *trace.Trace, epoch float64) []*trace.Trace {
+	var out []*trace.Trace
+	n := int(math.Ceil(tr.Duration / epoch))
+	ri := 0
+	for k := 0; k < n; k++ {
+		start := float64(k) * epoch
+		end := math.Min(start+epoch, tr.Duration)
+		sub := &trace.Trace{Files: tr.Files, Duration: end - start}
+		for ri < len(tr.Requests) && tr.Requests[ri].Time < end {
+			sub.Requests = append(sub.Requests,
+				trace.Request{Time: tr.Requests[ri].Time - start, FileID: tr.Requests[ri].FileID})
+			ri++
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+func ratesOf(files []trace.FileInfo) []float64 {
+	rates := make([]float64, len(files))
+	for i, f := range files {
+		rates[i] = f.Rate
+	}
+	return rates
+}
+
+func packWithRates(files []trace.FileInfo, rates []float64, cfg Config) ([]int, int, error) {
+	sizes := make([]int64, len(files))
+	for i, f := range files {
+		sizes[i] = f.Size
+	}
+	items, err := core.BuildItems(sizes, rates, cfg.DiskParams.ServiceTime, cfg.DiskParams.CapacityBytes, cfg.CapL)
+	if err != nil {
+		return nil, 0, err
+	}
+	var a *core.Assignment
+	if cfg.V > 1 {
+		a, err = core.PackDisksV(items, cfg.V)
+	} else {
+		a, err = core.PackDisks(items)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return a.DiskOf, a.NumDisks, nil
+}
+
+// diffAssignments counts files whose disk changes and their bytes.
+func diffAssignments(old, new []int, files []trace.FileInfo) (moved int, bytes int64) {
+	for i := range old {
+		if old[i] != new[i] {
+			moved++
+			bytes += files[i].Size
+		}
+	}
+	return moved, bytes
+}
+
+// incrementalRepack implements the paper's Section 6 migration rule:
+// files whose measured rate deviates from the packing-time estimate by
+// more than DeviationFactor are pulled off their disks and re-placed
+// first-fit-decreasing (by new load) into disks with both size and
+// load slack; everything else stays put. Files that fit nowhere keep
+// their old placement. Returns the new assignment, the number of disks
+// in use, and the updated estimates (deviants adopt their measured
+// rates).
+func incrementalRepack(assign []int, est, measured []float64, files []trace.FileInfo, cfg Config, farm int) ([]int, int, []float64) {
+	p := cfg.DiskParams
+	capS := float64(p.CapacityBytes)
+	loadOf := func(i int, rate float64) float64 {
+		return rate * p.ServiceTime(files[i].Size) / cfg.CapL
+	}
+	sizes := make([]float64, farm)
+	loads := make([]float64, farm)
+	for i, d := range assign {
+		sizes[d] += float64(files[i].Size) / capS
+		loads[d] += loadOf(i, measured[i])
+	}
+	newEst := append([]float64(nil), est...)
+	var deviants []int
+	for i := range files {
+		e, m := est[i], measured[i]
+		if e < cfg.MinRate {
+			e = cfg.MinRate
+		}
+		ratioDeviant := m > e*cfg.DeviationFactor || m < e/cfg.DeviationFactor
+		// Only deviations that move a material amount of load justify
+		// a migration; cold-file noise (one request vs none) does not.
+		delta := loadOf(i, m) - loadOf(i, e)
+		if delta < 0 {
+			delta = -delta
+		}
+		if ratioDeviant && delta >= cfg.MinLoadDelta {
+			deviants = append(deviants, i)
+			newEst[i] = measured[i]
+		}
+	}
+	// Pull deviants off their disks.
+	next := append([]int(nil), assign...)
+	for _, i := range deviants {
+		d := assign[i]
+		sizes[d] -= float64(files[i].Size) / capS
+		loads[d] -= loadOf(i, measured[i])
+	}
+	// Re-place heaviest new load first.
+	sort.SliceStable(deviants, func(a, b int) bool {
+		return loadOf(deviants[a], measured[deviants[a]]) > loadOf(deviants[b], measured[deviants[b]])
+	})
+	const eps = 1e-9
+	for _, i := range deviants {
+		s := float64(files[i].Size) / capS
+		l := loadOf(i, measured[i])
+		placed := -1
+		for d := 0; d < farm; d++ {
+			if sizes[d]+s <= 1+eps && loads[d]+l <= 1+eps {
+				placed = d
+				break
+			}
+		}
+		if placed < 0 {
+			placed = assign[i] // nowhere better: stay put
+		}
+		next[i] = placed
+		sizes[placed] += s
+		loads[placed] += l
+	}
+	used := 0
+	for _, d := range next {
+		if d+1 > used {
+			used = d + 1
+		}
+	}
+	return next, used, newEst
+}
+
+// relabelForOverlap renames the disks of the new packing to maximize
+// the bytes that stay in place: a greedy maximum-overlap matching
+// between new and old disk contents. The packing itself (which files
+// share a disk) is unchanged — only its disk numbering.
+func relabelForOverlap(old, new []int, files []trace.FileInfo, farm int) []int {
+	type pair struct {
+		newDisk, oldDisk int
+		bytes            int64
+	}
+	overlap := make(map[[2]int]int64)
+	maxNew := 0
+	for i := range files {
+		overlap[[2]int{new[i], old[i]}] += files[i].Size
+		if new[i] > maxNew {
+			maxNew = new[i]
+		}
+	}
+	pairs := make([]pair, 0, len(overlap))
+	for k, b := range overlap {
+		pairs = append(pairs, pair{k[0], k[1], b})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].bytes != pairs[b].bytes {
+			return pairs[a].bytes > pairs[b].bytes
+		}
+		if pairs[a].newDisk != pairs[b].newDisk {
+			return pairs[a].newDisk < pairs[b].newDisk
+		}
+		return pairs[a].oldDisk < pairs[b].oldDisk
+	})
+	mapping := make([]int, maxNew+1)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedOld := make([]bool, farm)
+	for _, p := range pairs {
+		if mapping[p.newDisk] == -1 && p.oldDisk < farm && !usedOld[p.oldDisk] {
+			mapping[p.newDisk] = p.oldDisk
+			usedOld[p.oldDisk] = true
+		}
+	}
+	// Unmatched new disks take any free old label.
+	free := 0
+	for nd := range mapping {
+		if mapping[nd] != -1 {
+			continue
+		}
+		for free < farm && usedOld[free] {
+			free++
+		}
+		if free < farm {
+			mapping[nd] = free
+			usedOld[free] = true
+		} else {
+			mapping[nd] = nd // farm overflow guarded by caller
+		}
+	}
+	out := make([]int, len(new))
+	for i, d := range new {
+		out[i] = mapping[d]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+// Package storage assembles the full disk-farm simulation the paper's
+// Section 4 describes: a workload (trace), a file dispatcher holding the
+// file→disk mapping table produced by an allocation algorithm, an
+// optional LRU cache in front of the farm, and an array of simulated
+// disks with idleness-threshold spin-down. Running a simulation yields
+// the two quantities the paper trades off — energy consumed and request
+// response time — plus the normalization baselines used in Figures 2–6.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"diskpack/internal/cache"
+	"diskpack/internal/disk"
+	"diskpack/internal/sim"
+	"diskpack/internal/stats"
+	"diskpack/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// NumDisks is the farm size. It may exceed the number of disks the
+	// allocation actually uses; unused disks spin down once and stay
+	// in standby, still drawing standby power (as in the paper, where
+	// both algorithms are charged for the full 100- or 96-disk farm).
+	NumDisks int
+	// DiskParams is the drive model (zero value → paper's Table 2).
+	DiskParams disk.Params
+	// IdleThreshold is the idleness threshold in seconds.
+	// Use disk.NeverSpinDown to disable spin-down (the paper's
+	// "no power-saving mechanism" baseline) or BreakEven to use the
+	// drive's break-even time (53.3 s for the default drive).
+	// Ignored when PolicyFactory is set.
+	IdleThreshold float64
+	// PolicyFactory, when non-nil, supplies a per-disk spin-down
+	// policy (each disk needs its own instance because adaptive
+	// policies carry state). See internal/policy for implementations.
+	PolicyFactory func(diskID int) disk.SpinPolicy
+	// CacheBytes enables a front LRU cache of that capacity when
+	// positive (the paper uses 16 GB).
+	CacheBytes int64
+	// WriteBestFit switches the write-placement rule from the paper's
+	// first-fit ("write into an already spinning disk if sufficient
+	// space is found") to best-fit (tightest remaining space among
+	// spinning disks). Both fall back to any disk with space when no
+	// spinning disk fits.
+	WriteBestFit bool
+}
+
+// Unplaced marks a file with no disk yet in an assignment: it must be
+// written before it can be read (Section 1's write policy places it on
+// a spinning disk at write time).
+const Unplaced = -1
+
+// BreakEven selects the drive's break-even idleness threshold at run
+// time.
+const BreakEven float64 = -1
+
+// normalized returns the config with defaults applied.
+func (c Config) normalized() (Config, error) {
+	if c.DiskParams == (disk.Params{}) {
+		c.DiskParams = disk.DefaultParams()
+	}
+	if err := c.DiskParams.Validate(); err != nil {
+		return c, err
+	}
+	if c.IdleThreshold == BreakEven {
+		c.IdleThreshold = c.DiskParams.BreakEvenThreshold()
+	}
+	if c.PolicyFactory == nil && (c.IdleThreshold < 0 || math.IsNaN(c.IdleThreshold)) {
+		return c, fmt.Errorf("storage: invalid idleness threshold %v", c.IdleThreshold)
+	}
+	if c.NumDisks < 1 {
+		return c, fmt.Errorf("storage: NumDisks %d must be >= 1", c.NumDisks)
+	}
+	if c.CacheBytes < 0 {
+		return c, fmt.Errorf("storage: negative cache size %d", c.CacheBytes)
+	}
+	return c, nil
+}
+
+// Results reports the outcome of a run.
+type Results struct {
+	// Duration is the accounting horizon in seconds (the trace
+	// duration).
+	Duration float64
+	// Energy is the farm's total consumption in joules over Duration.
+	Energy float64
+	// AvgPower is Energy/Duration in watts.
+	AvgPower float64
+	// NoSavingEnergy is the energy the same farm would consume serving
+	// the same requests with spin-down disabled: every disk idles at
+	// idle power between services. This is the paper's normalization
+	// baseline ("spinning N disks without any power-saving
+	// mechanism").
+	NoSavingEnergy float64
+	// PowerSavingRatio is 1 − Energy/NoSavingEnergy (Figure 5's
+	// y-axis).
+	PowerSavingRatio float64
+
+	// Response-time distribution over completed requests, in seconds.
+	RespMean, RespMedian, RespP95, RespP99, RespMax float64
+	// Completed counts requests finished within the horizon;
+	// Unfinished were still queued (or in flight) at the end.
+	Completed, Unfinished int64
+	// CacheHits/CacheMisses cover all lookups; HitRatio is their
+	// ratio. All zero when no cache is configured.
+	CacheHits, CacheMisses int64
+	CacheHitRatio          float64
+
+	// Write accounting (zero on read-only traces): WritesPlaced
+	// counts files placed by the write policy, WritesToSpinning those
+	// that landed on an already-spinning disk (the policy's goal),
+	// and WritesRejected writes that fit on no disk.
+	WritesPlaced, WritesToSpinning, WritesRejected int64
+	// ReadsUnplaced counts reads of files never written — trace bugs
+	// surfaced rather than silently dropped.
+	ReadsUnplaced int64
+
+	// Farm-level activity.
+	SpinUps, SpinDowns int
+	AvgStandbyDisks    float64 // time-average number of disks in standby
+	PeakQueue          int     // largest per-disk queue seen
+	PerDisk            []disk.Breakdown
+}
+
+// Run simulates the trace against a farm where file f lives on disk
+// assign[f]. It returns an error for malformed inputs; the simulation
+// itself is deterministic.
+func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(assign) != len(tr.Files) {
+		return nil, fmt.Errorf("storage: assignment covers %d files, trace has %d", len(assign), len(tr.Files))
+	}
+	for f, d := range assign {
+		if (d < 0 && d != Unplaced) || d >= cfg.NumDisks {
+			return nil, fmt.Errorf("storage: file %d assigned to disk %d outside farm of %d", f, d, cfg.NumDisks)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	env := sim.NewEnv()
+	disks := make([]*disk.Disk, cfg.NumDisks)
+	for i := range disks {
+		if cfg.PolicyFactory != nil {
+			disks[i] = disk.NewWithPolicy(env, i, cfg.DiskParams, cfg.PolicyFactory(i))
+		} else {
+			disks[i] = disk.New(env, i, cfg.DiskParams, cfg.IdleThreshold)
+		}
+	}
+	var lru *cache.LRU
+	if cfg.CacheBytes > 0 {
+		lru = cache.NewLRU(cfg.CacheBytes)
+	}
+
+	// place is the dynamic file→disk map: the write policy fills in
+	// Unplaced entries at write time; freeBytes tracks remaining raw
+	// capacity per disk.
+	place := append([]int(nil), assign...)
+	freeBytes := make([]int64, cfg.NumDisks)
+	for d := range freeBytes {
+		freeBytes[d] = cfg.DiskParams.CapacityBytes
+	}
+	for f, d := range place {
+		if d >= 0 {
+			freeBytes[d] -= tr.Files[f].Size
+		}
+	}
+	spinning := func(d *disk.Disk) bool {
+		switch d.State() {
+		case disk.Idle, disk.Seeking, disk.Transferring, disk.SpinningUp:
+			return true
+		}
+		return false
+	}
+	// chooseWriteDisk implements the Section 1 policy: prefer an
+	// already-spinning disk with space (first-fit, or best-fit with
+	// WriteBestFit), falling back to any disk with space.
+	chooseWriteDisk := func(size int64) int {
+		for _, spinOnly := range []bool{true, false} {
+			best := -1
+			for d := 0; d < cfg.NumDisks; d++ {
+				if freeBytes[d] < size || (spinOnly && !spinning(disks[d])) {
+					continue
+				}
+				if !cfg.WriteBestFit {
+					return d
+				}
+				if best == -1 || freeBytes[d] < freeBytes[best] {
+					best = d
+				}
+			}
+			if best >= 0 {
+				return best
+			}
+		}
+		return -1
+	}
+
+	var resp stats.Sample
+	var completed, writesPlaced, writesToSpinning, writesRejected, readsUnplaced int64
+	for _, r := range tr.Requests {
+		r := r
+		env.At(r.Time, func() {
+			size := tr.Files[r.FileID].Size
+			done := func(req *disk.Request, doneAt sim.Time) {
+				resp.Add(doneAt - req.Arrival)
+				completed++
+				if lru != nil {
+					lru.Put(req.FileID, req.Size)
+				}
+			}
+			if r.Write {
+				d := place[r.FileID]
+				if d < 0 {
+					d = chooseWriteDisk(size)
+					if d < 0 {
+						writesRejected++
+						return
+					}
+					if spinning(disks[d]) {
+						writesToSpinning++
+					}
+					place[r.FileID] = d
+					freeBytes[d] -= size
+					writesPlaced++
+				}
+				disks[d].Submit(&disk.Request{FileID: r.FileID, Size: size, Arrival: env.Now(), Done: done})
+				return
+			}
+			d := place[r.FileID]
+			if d < 0 {
+				readsUnplaced++
+				return
+			}
+			if lru != nil && lru.Get(r.FileID, size) {
+				// Cache hit: served without disk involvement; the
+				// paper counts these as (near-)zero response time.
+				resp.Add(0)
+				completed++
+				return
+			}
+			disks[d].Submit(&disk.Request{FileID: r.FileID, Size: size, Arrival: env.Now(), Done: done})
+		})
+	}
+
+	horizon := tr.Duration
+	if len(tr.Requests) > 0 {
+		horizon = math.Max(horizon, tr.Requests[len(tr.Requests)-1].Time)
+	}
+	env.RunUntil(horizon)
+
+	res := &Results{
+		Duration:         horizon,
+		Completed:        completed,
+		PerDisk:          make([]disk.Breakdown, cfg.NumDisks),
+		WritesPlaced:     writesPlaced,
+		WritesToSpinning: writesToSpinning,
+		WritesRejected:   writesRejected,
+		ReadsUnplaced:    readsUnplaced,
+	}
+	res.Unfinished = int64(len(tr.Requests)) - completed - writesRejected - readsUnplaced
+	var standbyTime float64
+	for i, d := range disks {
+		d.Finalize()
+		b := d.Breakdown()
+		res.PerDisk[i] = b
+		res.Energy += b.Energy
+		res.SpinUps += b.SpinUps
+		res.SpinDowns += b.SpinDowns
+		standbyTime += b.Durations[disk.Standby]
+		if q := d.PeakQueueLen(); q > res.PeakQueue {
+			res.PeakQueue = q
+		}
+		// No-saving baseline: this disk would have idled at idle
+		// power whenever it was not seeking/transferring; seek and
+		// transfer time are workload-determined and identical under
+		// either policy.
+		seek := b.Durations[disk.Seeking]
+		xfer := b.Durations[disk.Transferring]
+		p := cfg.DiskParams
+		res.NoSavingEnergy += p.IdlePower*(horizon-seek-xfer) +
+			p.SeekPower*seek + p.ActivePower*xfer
+	}
+	if horizon > 0 {
+		res.AvgPower = res.Energy / horizon
+		res.AvgStandbyDisks = standbyTime / horizon
+	}
+	if res.NoSavingEnergy > 0 {
+		res.PowerSavingRatio = 1 - res.Energy/res.NoSavingEnergy
+	}
+	if resp.Count() > 0 {
+		res.RespMean = resp.Mean()
+		res.RespMedian = resp.Median()
+		res.RespP95 = resp.Quantile(0.95)
+		res.RespP99 = resp.Quantile(0.99)
+		res.RespMax = resp.Max()
+	}
+	if lru != nil {
+		s := lru.Stats()
+		res.CacheHits, res.CacheMisses = s.Hits, s.Misses
+		res.CacheHitRatio = lru.HitRatio()
+	}
+	return res, nil
+}

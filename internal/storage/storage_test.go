@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+func miniTrace() *trace.Trace {
+	return &trace.Trace{
+		Files: []trace.FileInfo{
+			{ID: 0, Size: 72 * disk.MB, Rate: 0.01}, // 1 s transfer
+			{ID: 1, Size: 720 * disk.MB, Rate: 0.001},
+		},
+		Requests: []trace.Request{
+			{Time: 10, FileID: 0},
+			{Time: 100, FileID: 1},
+			{Time: 100, FileID: 0},
+		},
+		Duration: 1000,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	tr := miniTrace()
+	res, err := Run(tr, []int{0, 1}, Config{NumDisks: 2, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 || res.Unfinished != 0 {
+		t.Fatalf("completed=%d unfinished=%d", res.Completed, res.Unfinished)
+	}
+	// With never-spin-down, energy equals the no-saving baseline.
+	if math.Abs(res.Energy-res.NoSavingEnergy) > 1e-6 {
+		t.Fatalf("never-spin-down energy %v != baseline %v", res.Energy, res.NoSavingEnergy)
+	}
+	if math.Abs(res.PowerSavingRatio) > 1e-12 {
+		t.Fatalf("saving ratio %v want 0", res.PowerSavingRatio)
+	}
+	if res.SpinUps != 0 || res.SpinDowns != 0 {
+		t.Fatalf("spin transitions without policy: %d/%d", res.SpinUps, res.SpinDowns)
+	}
+	// Response time for the first request: positioning + 1 s.
+	pos := disk.DefaultParams().PositioningTime()
+	if math.Abs(res.RespMean-(pos+1+pos+10+pos+1)/3) > 1e-9 {
+		t.Logf("mean=%v (informational)", res.RespMean)
+	}
+	if res.AvgPower <= 0 || res.Duration != 1000 {
+		t.Fatalf("power=%v duration=%v", res.AvgPower, res.Duration)
+	}
+}
+
+func TestSpinDownSavesEnergy(t *testing.T) {
+	tr := miniTrace()
+	always, err := Run(tr, []int{0, 0}, Config{NumDisks: 2, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving, err := Run(tr, []int{0, 0}, Config{NumDisks: 2, IdleThreshold: 53.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving.Energy >= always.Energy {
+		t.Fatalf("spin-down did not save energy: %v vs %v", saving.Energy, always.Energy)
+	}
+	if saving.PowerSavingRatio <= 0 {
+		t.Fatalf("saving ratio %v want > 0", saving.PowerSavingRatio)
+	}
+	// Disk 1 receives no requests: it must be in standby almost the
+	// whole run.
+	if saving.AvgStandbyDisks < 0.9 {
+		t.Fatalf("avg standby disks %v want ≈>1 (idle disk asleep)", saving.AvgStandbyDisks)
+	}
+	if saving.SpinDowns < 1 {
+		t.Fatal("no spin-downs recorded")
+	}
+}
+
+func TestSpinUpPenaltyVisibleInResponse(t *testing.T) {
+	tr := &trace.Trace{
+		Files:    []trace.FileInfo{{ID: 0, Size: 72 * disk.MB}},
+		Requests: []trace.Request{{Time: 500, FileID: 0}},
+		Duration: 1000,
+	}
+	res, err := Run(tr, []int{0}, Config{NumDisks: 1, IdleThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := disk.DefaultParams()
+	want := p.SpinUpTime + p.PositioningTime() + 1.0
+	if math.Abs(res.RespMean-want) > 1e-9 {
+		t.Fatalf("response %v want %v (spin-up + service)", res.RespMean, want)
+	}
+}
+
+func TestBreakEvenThresholdSentinel(t *testing.T) {
+	tr := miniTrace()
+	res, err := Run(tr, []int{0, 0}, Config{NumDisks: 1, IdleThreshold: BreakEven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpinDowns < 1 {
+		t.Fatal("break-even threshold did not spin down an idle disk in 1000 s")
+	}
+}
+
+func TestCacheShortCircuitsDisk(t *testing.T) {
+	// Same file requested twice, far apart; with a cache the second
+	// request hits and the disk can stay asleep.
+	tr := &trace.Trace{
+		Files: []trace.FileInfo{{ID: 0, Size: 100 * disk.MB}},
+		Requests: []trace.Request{
+			{Time: 10, FileID: 0},
+			{Time: 500, FileID: 0},
+		},
+		Duration: 1000,
+	}
+	cfg := Config{NumDisks: 1, IdleThreshold: 53.3, CacheBytes: disk.GB}
+	res, err := Run(tr, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 1 || res.CacheMisses != 1 {
+		t.Fatalf("cache hits=%d misses=%d want 1/1", res.CacheHits, res.CacheMisses)
+	}
+	if res.CacheHitRatio != 0.5 {
+		t.Fatalf("hit ratio %v", res.CacheHitRatio)
+	}
+	// Second request must have zero response time.
+	if res.RespMedian != 0 && res.RespMean >= res.RespMax {
+		t.Fatalf("cache hit response not ≈0: mean=%v max=%v", res.RespMean, res.RespMax)
+	}
+	// The disk starts idle, so the t=10 miss needs no spin-up, and
+	// the t=500 hit must not wake it.
+	if res.SpinUps != 0 {
+		t.Fatalf("spinUps=%d want 0", res.SpinUps)
+	}
+
+	noCache, err := Run(tr, []int{0}, Config{NumDisks: 1, IdleThreshold: 53.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCache.SpinUps != 1 {
+		t.Fatalf("without cache spinUps=%d want 1 (t=500 wakes the disk)", noCache.SpinUps)
+	}
+	if noCache.Energy <= res.Energy {
+		t.Fatalf("cache did not reduce energy: %v vs %v", res.Energy, noCache.Energy)
+	}
+}
+
+func TestUnfinishedRequestsCounted(t *testing.T) {
+	// A request arriving at the very end cannot finish.
+	tr := &trace.Trace{
+		Files:    []trace.FileInfo{{ID: 0, Size: 7200 * disk.MB}}, // 100 s transfer
+		Requests: []trace.Request{{Time: 999, FileID: 0}},
+		Duration: 1000,
+	}
+	res, err := Run(tr, []int{0}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Unfinished != 1 {
+		t.Fatalf("completed=%d unfinished=%d", res.Completed, res.Unfinished)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := miniTrace()
+	// Zero DiskParams → Table 2 drive.
+	res, err := Run(tr, []int{0, 0}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 disk idling 1000 s ≈ 9.3 kJ plus service energy.
+	if res.Energy < 9000 || res.Energy > 11000 {
+		t.Fatalf("energy=%v not in Table 2 ballpark", res.Energy)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tr := miniTrace()
+	cases := []struct {
+		name   string
+		assign []int
+		cfg    Config
+	}{
+		{"short assignment", []int{0}, Config{NumDisks: 2, IdleThreshold: 1}},
+		{"disk out of range", []int{0, 5}, Config{NumDisks: 2, IdleThreshold: 1}},
+		{"negative disk", []int{0, -2}, Config{NumDisks: 2, IdleThreshold: 1}}, // -1 is Unplaced, -2 is invalid
+		{"zero disks", []int{0, 0}, Config{NumDisks: 0, IdleThreshold: 1}},
+		{"bad threshold", []int{0, 0}, Config{NumDisks: 2, IdleThreshold: -7}},
+		{"negative cache", []int{0, 0}, Config{NumDisks: 2, IdleThreshold: 1, CacheBytes: -1}},
+	}
+	for _, c := range cases {
+		if _, err := Run(tr, c.assign, c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	bad := miniTrace()
+	bad.Requests[0].FileID = 99
+	if _, err := Run(bad, []int{0, 0}, Config{NumDisks: 2, IdleThreshold: 1}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestEmptyTraceRuns(t *testing.T) {
+	tr := &trace.Trace{Duration: 100}
+	res, err := Run(tr, nil, Config{NumDisks: 3, IdleThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatal("requests appeared from nowhere")
+	}
+	// All three disks idle 10 s, spin down 10 s, standby 80 s.
+	want := 3 * (9.3*10 + 9.3*10 + 0.8*80)
+	if math.Abs(res.Energy-want) > 1e-6 {
+		t.Fatalf("energy=%v want %v", res.Energy, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := miniTrace()
+	cfg := Config{NumDisks: 2, IdleThreshold: 30, CacheBytes: disk.GB}
+	a, err := Run(tr, []int{0, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, []int{0, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.RespMean != b.RespMean || a.SpinUps != b.SpinUps {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestConcentrationBeatsSpreading(t *testing.T) {
+	// The paper's core claim in miniature: files on one disk (the
+	// other asleep) use less energy than files spread across two, at
+	// some response-time cost. 20 requests to 2 files over 2000 s.
+	files := []trace.FileInfo{
+		{ID: 0, Size: 72 * disk.MB},
+		{ID: 1, Size: 72 * disk.MB},
+	}
+	var reqs []trace.Request
+	for i := 0; i < 20; i++ {
+		reqs = append(reqs, trace.Request{Time: float64(i) * 100, FileID: i % 2})
+	}
+	tr := &trace.Trace{Files: files, Requests: reqs, Duration: 2000}
+	packed, err := Run(tr, []int{0, 0}, Config{NumDisks: 2, IdleThreshold: 53.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Run(tr, []int{0, 1}, Config{NumDisks: 2, IdleThreshold: 53.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Energy >= spread.Energy {
+		t.Fatalf("concentration did not save: packed=%v spread=%v", packed.Energy, spread.Energy)
+	}
+	if packed.PowerSavingRatio <= spread.PowerSavingRatio {
+		t.Fatalf("saving ratios: packed=%v spread=%v", packed.PowerSavingRatio, spread.PowerSavingRatio)
+	}
+}
+
+func TestPeakQueueReported(t *testing.T) {
+	files := []trace.FileInfo{{ID: 0, Size: 720 * disk.MB}}
+	reqs := []trace.Request{
+		{Time: 1, FileID: 0}, {Time: 2, FileID: 0}, {Time: 3, FileID: 0},
+	}
+	tr := &trace.Trace{Files: files, Requests: reqs, Duration: 100}
+	res, err := Run(tr, []int{0}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakQueue != 3 {
+		t.Fatalf("peak queue %d want 3", res.PeakQueue)
+	}
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+// writeTrace: files 0,1 pre-placed; file 2 unplaced, written at t=50
+// then read at t=500.
+func writeTrace() (*trace.Trace, []int) {
+	tr := &trace.Trace{
+		Files: []trace.FileInfo{
+			{ID: 0, Size: 72 * disk.MB},
+			{ID: 1, Size: 72 * disk.MB},
+			{ID: 2, Size: 144 * disk.MB},
+		},
+		Requests: []trace.Request{
+			{Time: 10, FileID: 0},
+			{Time: 50, FileID: 2, Write: true},
+			{Time: 500, FileID: 2},
+		},
+		Duration: 1000,
+	}
+	return tr, []int{0, 1, Unplaced}
+}
+
+func TestWritePlacedOnSpinningDisk(t *testing.T) {
+	tr, assign := writeTrace()
+	// Threshold 45: disk 0 serves file 0 at t=10 (done ≈11) and its
+	// re-armed timer fires at ≈56, so it is still idle-spinning at
+	// the t=50 write; disk 1 never serves and is spinning down from
+	// t=45. The write policy must pick disk 0.
+	res, err := Run(tr, assign, Config{NumDisks: 2, IdleThreshold: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WritesPlaced != 1 {
+		t.Fatalf("writesPlaced=%d want 1", res.WritesPlaced)
+	}
+	if res.WritesToSpinning != 1 {
+		t.Fatalf("write did not land on the spinning disk (toSpinning=%d)", res.WritesToSpinning)
+	}
+	if res.WritesRejected != 0 || res.ReadsUnplaced != 0 {
+		t.Fatalf("rejected=%d unplaced=%d", res.WritesRejected, res.ReadsUnplaced)
+	}
+	// All three requests complete: the later read finds the file.
+	if res.Completed != 3 || res.Unfinished != 0 {
+		t.Fatalf("completed=%d unfinished=%d", res.Completed, res.Unfinished)
+	}
+}
+
+func TestReadBeforeWriteCounted(t *testing.T) {
+	tr, assign := writeTrace()
+	// Make the read arrive before the write.
+	tr.Requests[1], tr.Requests[2] = tr.Requests[2], tr.Requests[1]
+	tr.Requests[1].Time, tr.Requests[2].Time = 50, 500
+	// Now: read of file 2 at t=50 (unplaced), write at t=500.
+	res, err := Run(tr, assign, Config{NumDisks: 2, IdleThreshold: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadsUnplaced != 1 {
+		t.Fatalf("readsUnplaced=%d want 1", res.ReadsUnplaced)
+	}
+	if res.WritesPlaced != 1 {
+		t.Fatalf("writesPlaced=%d want 1", res.WritesPlaced)
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("unfinished=%d (unplaced read should not count)", res.Unfinished)
+	}
+}
+
+func TestWriteRejectedWhenFull(t *testing.T) {
+	// One disk already holding a capacity-filling file.
+	p := disk.DefaultParams()
+	tr := &trace.Trace{
+		Files: []trace.FileInfo{
+			{ID: 0, Size: p.CapacityBytes},
+			{ID: 1, Size: 72 * disk.MB},
+		},
+		Requests: []trace.Request{{Time: 10, FileID: 1, Write: true}},
+		Duration: 100,
+	}
+	res, err := Run(tr, []int{0, Unplaced}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WritesRejected != 1 || res.WritesPlaced != 0 {
+		t.Fatalf("rejected=%d placed=%d want 1,0", res.WritesRejected, res.WritesPlaced)
+	}
+}
+
+func TestWriteBestFitPicksTightestSpinningDisk(t *testing.T) {
+	p := disk.DefaultParams()
+	// Disk 0 nearly full, disk 1 nearly empty; both spinning
+	// (NeverSpinDown). Best-fit should pick disk 0; first-fit also
+	// picks 0 here, so distinguish with reversed fills.
+	tr := &trace.Trace{
+		Files: []trace.FileInfo{
+			{ID: 0, Size: 100 * disk.MB},             // on disk 0
+			{ID: 1, Size: p.CapacityBytes - disk.GB}, // on disk 1: nearly full
+			{ID: 2, Size: 500 * disk.MB},             // written
+		},
+		Requests: []trace.Request{{Time: 10, FileID: 2, Write: true}},
+		Duration: 100,
+	}
+	assign := []int{0, 1, Unplaced}
+	// First-fit: lands on disk 0 (lowest index with space).
+	ff, err := Run(tr, assign, Config{NumDisks: 2, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.PerDisk[0].BytesRead == 0 {
+		t.Fatal("first-fit write did not go to disk 0")
+	}
+	// Best-fit: disk 1 has ~1 GB free (tighter) and fits 500 MB.
+	bf, err := Run(tr, assign, Config{NumDisks: 2, IdleThreshold: disk.NeverSpinDown, WriteBestFit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.PerDisk[1].BytesRead == 0 {
+		t.Fatal("best-fit write did not go to the tighter disk 1")
+	}
+}
+
+func TestUnplacedFileNeverReadStillRuns(t *testing.T) {
+	tr := &trace.Trace{
+		Files:    []trace.FileInfo{{ID: 0, Size: 72 * disk.MB}, {ID: 1, Size: disk.GB}},
+		Requests: []trace.Request{{Time: 1, FileID: 0}},
+		Duration: 100,
+	}
+	res, err := Run(tr, []int{0, Unplaced}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed=%d", res.Completed)
+	}
+}
+
+func TestOverwriteStaysInPlace(t *testing.T) {
+	// A write to an already-placed file re-writes it on its disk
+	// without consuming extra capacity.
+	tr := &trace.Trace{
+		Files: []trace.FileInfo{{ID: 0, Size: 72 * disk.MB}},
+		Requests: []trace.Request{
+			{Time: 10, FileID: 0, Write: true},
+			{Time: 50, FileID: 0, Write: true},
+		},
+		Duration: 100,
+	}
+	res, err := Run(tr, []int{0}, Config{NumDisks: 1, IdleThreshold: disk.NeverSpinDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WritesPlaced != 0 {
+		t.Fatalf("overwrites should not count as placements: %d", res.WritesPlaced)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed=%d want 2", res.Completed)
+	}
+}
