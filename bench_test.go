@@ -14,6 +14,8 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/exp"
+	"diskpack/internal/farm"
+	"diskpack/internal/workload"
 )
 
 // benchScale keeps a full experiment sweep around a second per
@@ -221,6 +223,36 @@ func BenchmarkReorg(b *testing.B) {
 		}
 	}
 	b.ReportMetric(ratio, "incr-migration-frac")
+}
+
+// BenchmarkFarmRun exercises the scenario engine end to end on a
+// mid-size spec — workload synthesis, Pack_Disks allocation, and the
+// farm simulation all inside farm.Run — so engine-layer regressions
+// (extra allocations, slower compile path) show up in the perf
+// trajectory alongside the per-artifact benchmarks. It reports the
+// run's power saving as a stability check on the engine's output.
+func BenchmarkFarmRun(b *testing.B) {
+	wl := workload.DefaultSynthetic(6, 0)
+	wl.NumFiles = 4000
+	wl.MinSize /= 10
+	wl.MaxSize /= 10
+	spec := farm.Spec{
+		Name:     "bench",
+		FarmSize: 40,
+		Workload: farm.SyntheticWorkload(wl),
+		Alloc:    farm.Packed(0.7),
+		Spin:     farm.SpinSpec{Kind: farm.SpinBreakEven},
+	}
+	var saving float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := farm.Run(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = m.PowerSavingRatio
+	}
+	b.ReportMetric(saving, "saving")
 }
 
 // packingInstance builds the skewed instance used by the complexity

@@ -1,9 +1,13 @@
-// Command disksim runs one disk-farm simulation: a trace, an allocation
-// (from a map file or computed on the fly), an idleness threshold, and
-// an optional LRU cache, reporting energy and response-time metrics.
+// Command disksim runs disk-farm simulations through the scenario
+// engine (internal/farm): either a registered scenario by name, or an
+// ad-hoc run assembled from a trace file plus allocation, spin-down,
+// and cache flags.
 //
 // Usage:
 //
+//	disksim -scenarios                       # list the catalogue
+//	disksim -scenario hetero                 # run a registered scenario
+//	disksim -scenario slo-sweep -seed 7      # sweeps pick an operating point
 //	disksim -trace nersc.trace -algo pack -L 0.7 -threshold 1800
 //	disksim -trace synth.trace -algo random -disks 100 -threshold breakeven
 //	disksim -trace nersc.trace -assign out.map -disks 96 -cache 16e9
@@ -13,32 +17,46 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 
-	"diskpack/internal/core"
 	"diskpack/internal/disk"
-	"diskpack/internal/storage"
+	"diskpack/internal/farm"
 	"diskpack/internal/trace"
 )
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "input trace file (required)")
+		scenario  = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
+		list      = flag.Bool("scenarios", false, "list registered scenarios and exit")
+		tracePath = flag.String("trace", "", "input trace file (ad-hoc mode)")
 		assignIn  = flag.String("assign", "", "file→disk map (one disk per line); overrides -algo")
-		algo      = flag.String("algo", "pack", "allocator when -assign is absent: pack, pack4, random")
+		algo      = flag.String("algo", "pack", "allocator when -assign is absent: pack, pack4, random, ffd, firstfit, bestfit, chp")
 		capL      = flag.Float64("L", 0.7, "load constraint for packing")
-		farm      = flag.Int("disks", 0, "farm size (0 = as many as the allocation uses)")
-		threshold = flag.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', or 'never'")
+		farmN     = flag.Int("disks", 0, "farm size (0 = as many as the allocation uses)")
+		threshold = flag.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', 'never', 'immediate', 'adaptive', or 'randomized'")
 		cacheB    = flag.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
-		seed      = flag.Int64("seed", 1, "seed for random placement")
+		seed      = flag.Int64("seed", 1, "seed for random placement and randomized policies")
 		verbose   = flag.Bool("v", false, "per-disk breakdown")
 	)
 	flag.Parse()
-	if *tracePath == "" {
-		fatal(fmt.Errorf("-trace is required"))
+
+	if *list {
+		listScenarios()
+		return
 	}
+	if *scenario != "" {
+		res, err := farm.RunScenario(*scenario, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printScenario(res, *verbose)
+		return
+	}
+	if *tracePath == "" {
+		fatal(fmt.Errorf("either -scenario or -trace is required (use -scenarios to list)"))
+	}
+
 	f, err := os.Open(*tracePath)
 	if err != nil {
 		fatal(err)
@@ -49,109 +67,146 @@ func main() {
 		fatal(err)
 	}
 
-	var assign []int
-	if *assignIn != "" {
-		assign, err = readAssign(*assignIn)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		assign, err = allocate(tr, *algo, *capL, *farm, *seed)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	numDisks := *farm
-	for _, d := range assign {
-		if d+1 > numDisks {
-			numDisks = d + 1
-		}
-	}
-
-	th := 0.0
-	switch *threshold {
-	case "breakeven":
-		th = storage.BreakEven
-	case "never":
-		th = disk.NeverSpinDown
-	default:
-		th, err = strconv.ParseFloat(*threshold, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad -threshold: %w", err))
-		}
-	}
-
-	res, err := storage.Run(tr, assign, storage.Config{
-		NumDisks:      numDisks,
-		IdleThreshold: th,
-		CacheBytes:    int64(*cacheB),
-	})
+	alloc, err := allocSpec(*assignIn, *algo, *capL, *farmN)
 	if err != nil {
 		fatal(err)
 	}
-
-	fmt.Printf("farm              %d disks, threshold %s\n", numDisks, *threshold)
-	fmt.Printf("energy            %.3e J over %.0f s (avg %.1f W)\n", res.Energy, res.Duration, res.AvgPower)
-	fmt.Printf("no-saving energy  %.3e J\n", res.NoSavingEnergy)
-	fmt.Printf("power saving      %.1f%%\n", res.PowerSavingRatio*100)
-	fmt.Printf("response time     mean %.2f s  median %.2f s  p95 %.2f s  p99 %.2f s  max %.2f s\n",
-		res.RespMean, res.RespMedian, res.RespP95, res.RespP99, res.RespMax)
-	fmt.Printf("requests          %d completed, %d unfinished\n", res.Completed, res.Unfinished)
-	fmt.Printf("spin transitions  %d up, %d down\n", res.SpinUps, res.SpinDowns)
-	fmt.Printf("avg standby disks %.1f of %d\n", res.AvgStandbyDisks, numDisks)
-	fmt.Printf("peak disk queue   %d\n", res.PeakQueue)
-	if *cacheB > 0 {
-		fmt.Printf("cache             %d hits / %d misses (%.1f%%)\n",
-			res.CacheHits, res.CacheMisses, res.CacheHitRatio*100)
+	spin, err := spinSpec(*threshold)
+	if err != nil {
+		fatal(err)
 	}
-	if *verbose {
-		fmt.Println("\ndisk  served  bytesGB  energyKJ  spinups  idle%  standby%  active%")
-		for i, b := range res.PerDisk {
-			total := res.Duration
-			fmt.Printf("%4d  %6d  %7.1f  %8.1f  %7d  %5.1f  %8.1f  %7.1f\n",
+	spec := farm.Spec{
+		Name:       "disksim",
+		Workload:   farm.TraceWorkload(tr),
+		Alloc:      alloc,
+		Spin:       spin,
+		FarmSize:   *farmN,
+		CacheBytes: int64(*cacheB),
+	}
+	m, err := farm.Run(spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	printMetrics(m, *threshold, *cacheB > 0, *verbose)
+}
+
+func listScenarios() {
+	for _, sc := range farm.Scenarios() {
+		kind := "run"
+		if sc.Sweep != nil {
+			kind = fmt.Sprintf("sweep over %d thresholds", len(sc.Sweep.Thresholds))
+		}
+		fmt.Printf("%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
+	}
+}
+
+func printScenario(res *farm.Result, verbose bool) {
+	fmt.Printf("scenario %s — %s\n", res.Scenario.Name, res.Scenario.Doc)
+	if res.Scenario.Sweep == nil {
+		fmt.Println()
+		printMetrics(res.Runs[0], "", res.Scenario.Spec.CacheBytes > 0, verbose)
+		return
+	}
+	fmt.Printf("SLO: p95 response <= %g s\n\n", res.Scenario.Sweep.MaxP95)
+	fmt.Printf("%-18s %10s %10s %10s %10s %8s\n", "point", "power(W)", "saving", "p95(s)", "mean(s)", "meets?")
+	for i, m := range res.Runs {
+		mark := "no"
+		if m.RespP95 <= res.Scenario.Sweep.MaxP95 {
+			mark = "yes"
+		}
+		if i == res.Best {
+			mark = "chosen"
+		}
+		fmt.Printf("%-18s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
+			res.Labels[i], m.AvgPower, m.PowerSavingRatio*100, m.RespP95, m.RespMean, mark)
+	}
+	if res.Best < 0 {
+		fmt.Println("\nno threshold meets the SLO — add disks or relax the target")
+	} else {
+		best := res.Runs[res.Best]
+		fmt.Printf("\noperating point: %s (%.1f W, p95 %.2f s)\n", res.Labels[res.Best], best.AvgPower, best.RespP95)
+	}
+}
+
+func printMetrics(m *farm.Metrics, threshold string, withCache, verbose bool) {
+	if threshold != "" {
+		fmt.Printf("farm              %d disks, threshold %s\n", m.FarmSize, threshold)
+	} else {
+		fmt.Printf("farm              %d disks (%d used by the allocation)\n", m.FarmSize, m.DisksUsed)
+	}
+	fmt.Printf("energy            %.3e J over %.0f s (avg %.1f W)\n", m.Energy, m.Duration, m.AvgPower)
+	fmt.Printf("no-saving energy  %.3e J\n", m.NoSavingEnergy)
+	fmt.Printf("power saving      %.1f%%\n", m.PowerSavingRatio*100)
+	fmt.Printf("response time     mean %.2f s  median %.2f s  p95 %.2f s  p99 %.2f s  max %.2f s\n",
+		m.RespMean, m.RespMedian, m.RespP95, m.RespP99, m.RespMax)
+	fmt.Printf("requests          %d completed, %d unfinished\n", m.Completed, m.Unfinished)
+	fmt.Printf("spin transitions  %d up, %d down\n", m.SpinUps, m.SpinDowns)
+	fmt.Printf("avg standby disks %.1f of %d\n", m.AvgStandbyDisks, m.FarmSize)
+	fmt.Printf("peak disk queue   %d\n", m.Sim.PeakQueue)
+	if withCache {
+		fmt.Printf("cache             %d hits / %d misses (%.1f%%)\n",
+			m.Sim.CacheHits, m.Sim.CacheMisses, m.CacheHitRatio*100)
+	}
+	if verbose {
+		fmt.Println("\ndisk  served  bytesGB  energyKJ  spinups  util%  idle%  standby%")
+		for i, b := range m.Sim.PerDisk {
+			total := m.Duration
+			fmt.Printf("%4d  %6d  %7.1f  %8.1f  %7d  %5.1f  %5.1f  %8.1f\n",
 				i, b.Served, float64(b.BytesRead)/1e9, b.Energy/1e3, b.SpinUps,
+				100*m.Utilization[i],
 				100*b.Durations[disk.Idle]/total,
-				100*b.Durations[disk.Standby]/total,
-				100*(b.Durations[disk.Seeking]+b.Durations[disk.Transferring])/total)
+				100*b.Durations[disk.Standby]/total)
 		}
 	}
 }
 
-func allocate(tr *trace.Trace, algo string, capL float64, farm int, seed int64) ([]int, error) {
-	params := disk.DefaultParams()
-	sizes := make([]int64, len(tr.Files))
-	rates := make([]float64, len(tr.Files))
-	for i, fi := range tr.Files {
-		sizes[i] = fi.Size
-		rates[i] = fi.Rate
+func allocSpec(assignPath, algo string, capL float64, farmN int) (farm.AllocSpec, error) {
+	if assignPath != "" {
+		assign, err := readAssign(assignPath)
+		if err != nil {
+			return farm.AllocSpec{}, err
+		}
+		return farm.Explicit(assign), nil
 	}
-	items, err := core.BuildItems(sizes, rates, params.ServiceTime, params.CapacityBytes, capL)
-	if err != nil {
-		return nil, err
-	}
-	var a *core.Assignment
 	switch algo {
 	case "pack":
-		a, err = core.PackDisks(items)
+		return farm.AllocSpec{Kind: farm.AllocPack, CapL: capL}, nil
 	case "pack4":
-		a, err = core.PackDisksV(items, 4)
+		return farm.AllocSpec{Kind: farm.AllocPackV, CapL: capL, V: 4}, nil
 	case "random":
-		n := farm
-		if n == 0 {
-			ref, err2 := core.PackDisks(items)
-			if err2 != nil {
-				return nil, err2
-			}
-			n = ref.NumDisks
-		}
-		a, err = core.RandomAssignCapacity(items, n, rand.New(rand.NewSource(seed)))
+		return farm.AllocSpec{Kind: farm.AllocRandom, CapL: capL, Disks: farmN}, nil
+	case "ffd":
+		return farm.AllocSpec{Kind: farm.AllocFirstFitDecreasing, CapL: capL}, nil
+	case "firstfit":
+		return farm.AllocSpec{Kind: farm.AllocFirstFit, CapL: capL}, nil
+	case "bestfit":
+		return farm.AllocSpec{Kind: farm.AllocBestFit, CapL: capL}, nil
+	case "chp":
+		return farm.AllocSpec{Kind: farm.AllocChangHwangPark, CapL: capL}, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+		return farm.AllocSpec{}, fmt.Errorf("unknown algorithm %q", algo)
 	}
-	if err != nil {
-		return nil, err
+}
+
+func spinSpec(threshold string) (farm.SpinSpec, error) {
+	switch threshold {
+	case "breakeven":
+		return farm.SpinSpec{Kind: farm.SpinBreakEven}, nil
+	case "never":
+		return farm.SpinSpec{Kind: farm.SpinNever}, nil
+	case "immediate":
+		return farm.SpinSpec{Kind: farm.SpinImmediate}, nil
+	case "adaptive":
+		return farm.SpinSpec{Kind: farm.SpinAdaptive}, nil
+	case "randomized":
+		return farm.SpinSpec{Kind: farm.SpinRandomized}, nil
+	default:
+		th, err := strconv.ParseFloat(threshold, 64)
+		if err != nil {
+			return farm.SpinSpec{}, fmt.Errorf("bad -threshold: %w", err)
+		}
+		return farm.FixedSpin(th), nil
 	}
-	return a.DiskOf, nil
 }
 
 func readAssign(path string) ([]int, error) {

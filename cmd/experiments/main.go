@@ -18,18 +18,27 @@ import (
 	"time"
 
 	"diskpack/internal/exp"
+	"diskpack/internal/farm"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment name (see package doc) or 'all'")
-		scale   = flag.Float64("scale", 1.0, "workload scale in (0,1]; 1 = paper scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		format  = flag.String("format", "table", "output format: table or csv")
-		out     = flag.String("out", "", "directory to write one file per table (default: stdout)")
+		run       = flag.String("run", "all", "experiment name (see package doc) or 'all'")
+		scale     = flag.Float64("scale", 1.0, "workload scale in (0,1]; 1 = paper scale")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		format    = flag.String("format", "table", "output format: table or csv")
+		out       = flag.String("out", "", "directory to write one file per table (default: stdout)")
+		scenarios = flag.Bool("scenarios", false, "list the farm scenario catalogue (run them with cmd/disksim) and exit")
 	)
 	flag.Parse()
+
+	if *scenarios {
+		for _, sc := range farm.Scenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Doc)
+		}
+		return
+	}
 
 	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	if err := opts.Validate(); err != nil {

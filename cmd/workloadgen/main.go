@@ -4,6 +4,8 @@
 // Usage:
 //
 //	workloadgen -kind table1 -rate 6 -out synth.trace
+//	workloadgen -kind table1 -diurnal -rate 2 -out diurnal.trace
+//	workloadgen -kind bursty -rate 2 -out bursty.trace
 //	workloadgen -kind nersc -seed 7 -out nersc.trace
 //	workloadgen -kind nersc -files 5000 -requests 10000 -stats-only
 package main
@@ -19,10 +21,11 @@ import (
 
 func main() {
 	var (
-		kind      = flag.String("kind", "table1", "workload kind: table1 or nersc")
-		rate      = flag.Float64("rate", 6, "table1: Poisson arrival rate R (req/s)")
+		kind      = flag.String("kind", "table1", "workload kind: table1, nersc, or bursty")
+		rate      = flag.Float64("rate", 6, "table1/bursty: mean arrival rate R (req/s)")
 		files     = flag.Int("files", 0, "override file count (0 = paper value)")
 		requests  = flag.Int("requests", 0, "nersc: override request count (0 = paper value)")
+		diurnal   = flag.Bool("diurnal", false, "table1: modulate arrivals with the default diurnal profile")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "", "output file (empty = stdout; ignored with -stats-only)")
 		statsOnly = flag.Bool("stats-only", false, "print summary statistics instead of the trace")
@@ -39,6 +42,9 @@ func main() {
 		if *files > 0 {
 			cfg.NumFiles = *files
 		}
+		if *diurnal {
+			cfg.Diurnal = workload.DefaultDiurnal()
+		}
 		tr, err = cfg.Build()
 	case "nersc":
 		cfg := workload.DefaultNERSC(*seed)
@@ -49,8 +55,14 @@ func main() {
 			cfg.NumRequests = *requests
 		}
 		tr, err = cfg.Build()
+	case "bursty":
+		cfg := workload.DefaultBursty(*rate, *seed)
+		if *files > 0 {
+			cfg.NumFiles = *files
+		}
+		tr, err = cfg.Build()
 	default:
-		err = fmt.Errorf("unknown kind %q (want table1 or nersc)", *kind)
+		err = fmt.Errorf("unknown kind %q (want table1, nersc, or bursty)", *kind)
 	}
 	if err != nil {
 		fatal(err)

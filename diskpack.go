@@ -27,6 +27,15 @@
 //	})
 //	fmt.Printf("power %.0f W, mean response %.2f s\n", res.AvgPower, res.RespMean)
 //
+// Whole experiments are declared, not wired: a FarmSpec names the farm
+// layout (including heterogeneous drive groups), allocation strategy,
+// spin-down policy, workload, and cache, and RunFarm compiles it into a
+// simulation returning one FarmMetrics — a pure function of
+// (spec, seed). A scenario catalogue (FarmScenarios / RunScenario)
+// ships ready-made points including diurnal, bursty, heterogeneous,
+// and latency-SLO-sweep scenarios; run them with cmd/disksim
+// -scenario.
+//
 // See the examples/ directory for complete programs and cmd/experiments
 // for the harness that regenerates every table and figure of the paper.
 package diskpack

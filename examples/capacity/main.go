@@ -3,7 +3,8 @@
 // on-line to meet file access response time under budget constraints."
 // This example answers: given a workload and a mean-response-time
 // budget, what is the smallest load constraint L (hence fewest spinning
-// disks, hence lowest power bill) that still meets the budget?
+// disks, hence lowest power bill) that still meets the budget? The
+// sweep is one FarmSpec per candidate L.
 package main
 
 import (
@@ -16,18 +17,14 @@ import (
 func main() {
 	const responseBudget = 12.0 // seconds, mean
 	const arrivalRate = 6.0     // requests per second
+	const seed = 1
 
 	wl := diskpack.Table1Workload(arrivalRate, 1)
 	wl.NumFiles = 2000
 	wl.MaxSize /= 20
-	tr, err := wl.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	params := diskpack.DefaultDiskParams()
 
 	fmt.Printf("workload: %d files, R = %.0f req/s; budget: mean response <= %.1f s\n\n",
-		len(tr.Files), arrivalRate, responseBudget)
+		wl.NumFiles, arrivalRate, responseBudget)
 	fmt.Printf("%6s %8s %12s %12s %8s\n", "L", "disks", "power (W)", "resp (s)", "meets?")
 
 	type plan struct {
@@ -40,30 +37,24 @@ func main() {
 	// Sweep the load constraint from loose to tight: higher L means
 	// fewer, busier disks — cheaper but slower.
 	for _, L := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		items, err := diskpack.ItemsFromTrace(tr, params, L)
+		m, err := diskpack.RunFarm(diskpack.FarmSpec{
+			Name:     fmt.Sprintf("capacity-L%.1f", L),
+			Workload: diskpack.SyntheticFarmWorkload(wl),
+			Alloc:    diskpack.PackedAlloc(L),
+			Spin:     diskpack.FarmSpin{Kind: diskpack.SpinBreakEven},
+		}, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		alloc, err := diskpack.Pack(items)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := diskpack.Simulate(tr, alloc.DiskOf, diskpack.SimConfig{
-			NumDisks:      alloc.NumDisks,
-			IdleThreshold: diskpack.BreakEvenThreshold,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		meets := res.RespMean <= responseBudget
+		meets := m.RespMean <= responseBudget
 		mark := "no"
 		if meets {
 			mark = "yes"
 		}
 		fmt.Printf("%6.2f %8d %12.1f %12.2f %8s\n",
-			L, alloc.NumDisks, res.AvgPower, res.RespMean, mark)
+			L, m.DisksUsed, m.AvgPower, m.RespMean, mark)
 		if meets {
-			p := plan{L: L, disks: alloc.NumDisks, power: res.AvgPower, resp: res.RespMean}
+			p := plan{L: L, disks: m.DisksUsed, power: m.AvgPower, resp: m.RespMean}
 			if best == nil || p.power < best.power {
 				best = &p
 			}
@@ -75,4 +66,6 @@ func main() {
 	}
 	fmt.Printf("\nrecommended plan: L = %.2f keeping %d disks on-line (%.1f W, %.2f s mean response)\n",
 		best.L, best.disks, best.power, best.resp)
+	fmt.Println("\n(the catalogued \"slo-sweep\" scenario asks the dual question — the")
+	fmt.Println("cheapest spin-down threshold under a p95 SLO: cmd/disksim -scenario slo-sweep)")
 }

@@ -2,15 +2,14 @@
 // synthesized 30-day NERSC read trace — random placement vs Pack_Disks
 // vs Pack_Disks_4, with and without a 16 GB LRU front cache, at a fixed
 // 0.5 h idleness threshold (the paper's recommended operating point).
+// The five series are five declarative FarmSpecs over one workload.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"diskpack"
-	"diskpack/internal/core"
 )
 
 func main() {
@@ -21,67 +20,66 @@ func main() {
 	wl.NumFiles = 11000
 	wl.NumRequests = 14500
 	wl.Duration *= 14500.0 / 115832
-	tr, err := wl.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := tr.Stats()
-	fmt.Printf("trace: %d files, %d requests over %.0f h, mean size %.0f MB\n\n",
-		s.NumFiles, s.NumRequests, s.Duration/3600, s.MeanFileSize/1e6)
-
-	params := diskpack.DefaultDiskParams()
-	items, err := diskpack.ItemsFromTrace(tr, params, 0.8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pack, err := diskpack.Pack(items)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pack4, err := diskpack.PackGrouped(items, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	farm := pack.NumDisks
-	if pack4.NumDisks > farm {
-		farm = pack4.NumDisks
-	}
-	// The paper gives random placement the same farm as Pack_Disks.
-	rnd, err := core.RandomAssignCapacity(items, farm, rand.New(rand.NewSource(7)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("farm: %d disks of 500 GB (lower bound %d)\n\n", farm, diskpack.LowerBoundDisks(items))
-
+	const seed = 1
 	const threshold = 0.5 * 3600 // seconds
 	const lru = 16e9
+
+	spec := func(alloc diskpack.FarmAlloc, farmSize int, cache int64) diskpack.FarmSpec {
+		return diskpack.FarmSpec{
+			Name:       "nersc",
+			FarmSize:   farmSize,
+			Workload:   diskpack.NERSCFarmWorkload(wl),
+			Alloc:      alloc,
+			Spin:       diskpack.FixedSpinPolicy(threshold),
+			CacheBytes: cache,
+		}
+	}
+	pack := diskpack.FarmAlloc{Kind: diskpack.AllocPack, CapL: 0.8}
+	pack4 := diskpack.FarmAlloc{Kind: diskpack.AllocPackV, CapL: 0.8, V: 4}
+
+	// Planning pass (allocation only, no simulation): size the shared
+	// farm to the larger of the two packings (the paper gives random
+	// placement the same farm).
+	p1, err := diskpack.PlanFarm(spec(pack, 0, 0), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p4, err := diskpack.PlanFarm(spec(pack4, 0, 0), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	farmSize := p1.DisksUsed
+	if p4.DisksUsed > farmSize {
+		farmSize = p4.DisksUsed
+	}
+	rnd := diskpack.FarmAlloc{Kind: diskpack.AllocRandom, CapL: 0.8, Disks: farmSize}
+
+	fmt.Printf("trace: %d files, %d requests over %.0f h\n", wl.NumFiles, wl.NumRequests, wl.Duration/3600)
+	fmt.Printf("farm: %d disks of 500 GB (lower bound %d)\n\n", farmSize, p1.LowerBound)
+
 	rows := []struct {
-		name   string
-		assign []int
-		cache  int64
+		name  string
+		alloc diskpack.FarmAlloc
+		cache int64
 	}{
-		{"RND", rnd.DiskOf, 0},
-		{"Pack_Disk", pack.DiskOf, 0},
-		{"Pack_Disk4", pack4.DiskOf, 0},
-		{"RND+LRU", rnd.DiskOf, lru},
-		{"Pack_Disk4+LRU", pack4.DiskOf, lru},
+		{"RND", rnd, 0},
+		{"Pack_Disk", pack, 0},
+		{"Pack_Disk4", pack4, 0},
+		{"RND+LRU", rnd, lru},
+		{"Pack_Disk4+LRU", pack4, lru},
 	}
 	fmt.Printf("%-16s %12s %12s %10s %10s\n", "allocation", "saving", "resp mean", "resp p95", "cache hit")
 	for _, row := range rows {
-		res, err := diskpack.Simulate(tr, row.assign, diskpack.SimConfig{
-			NumDisks:      farm,
-			IdleThreshold: threshold,
-			CacheBytes:    row.cache,
-		})
+		m, err := diskpack.RunFarm(spec(row.alloc, farmSize, row.cache), seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		hit := "-"
 		if row.cache > 0 {
-			hit = fmt.Sprintf("%.1f%%", res.CacheHitRatio*100)
+			hit = fmt.Sprintf("%.1f%%", m.CacheHitRatio*100)
 		}
 		fmt.Printf("%-16s %11.1f%% %10.2f s %8.2f s %10s\n",
-			row.name, res.PowerSavingRatio*100, res.RespMean, res.RespP95, hit)
+			row.name, m.PowerSavingRatio*100, m.RespMean, m.RespP95, hit)
 	}
 	fmt.Println("\nPack_Disks keeps most of the farm asleep (high saving) while")
 	fmt.Println("Pack_Disk4 spreads batched same-size requests over 4 spindles,")

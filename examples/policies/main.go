@@ -1,7 +1,8 @@
 // Spin-down policies: compare the paper's fixed break-even threshold
 // against the adaptive and randomized policies from the dynamic
 // power-management literature it surveys (Section 2), and check the
-// simulated numbers against the closed-form M/G/1 prediction.
+// simulated numbers against the closed-form M/G/1 prediction. Each
+// policy is one FarmSpin value in an otherwise identical FarmSpec.
 package main
 
 import (
@@ -20,6 +21,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Pack once and share the trace and allocation across policies, so
+	// the spin-down rule is the only thing that varies.
 	params := diskpack.DefaultDiskParams()
 	items, err := diskpack.ItemsFromTrace(tr, params, 0.8)
 	if err != nil {
@@ -29,33 +32,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	farm := alloc.NumDisks
 	fmt.Printf("NERSC-like trace on %d packed disks; break-even threshold %.1f s\n\n",
-		farm, params.BreakEvenThreshold())
+		alloc.NumDisks, params.BreakEvenThreshold())
 
 	policies := []struct {
-		name    string
-		factory func(id int) diskpack.SpinPolicy
+		name string
+		spin diskpack.FarmSpin
 	}{
-		{"fixed break-even", func(int) diskpack.SpinPolicy { return diskpack.NewBreakEvenPolicy(params) }},
-		{"adaptive", func(int) diskpack.SpinPolicy { return diskpack.NewAdaptivePolicy(params) }},
-		{"randomized e/(e-1)", func(id int) diskpack.SpinPolicy { return diskpack.NewRandomizedPolicy(params, int64(id)) }},
+		{"fixed break-even", diskpack.FarmSpin{Kind: diskpack.SpinBreakEven}},
+		{"adaptive", diskpack.FarmSpin{Kind: diskpack.SpinAdaptive}},
+		{"randomized e/(e-1)", diskpack.FarmSpin{Kind: diskpack.SpinRandomized}},
 	}
 	fmt.Printf("%-20s %10s %12s %10s\n", "policy", "saving", "resp mean", "spin-ups")
 	for _, p := range policies {
-		res, err := diskpack.Simulate(tr, alloc.DiskOf, diskpack.SimConfig{
-			NumDisks:      farm,
-			PolicyFactory: p.factory,
-		})
+		m, err := diskpack.RunFarm(diskpack.FarmSpec{
+			Name:     p.name,
+			Workload: diskpack.TraceWorkload(tr),
+			Alloc:    diskpack.ExplicitAlloc(alloc.DiskOf),
+			Spin:     p.spin,
+		}, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-20s %9.1f%% %10.2f s %10d\n",
-			p.name, res.PowerSavingRatio*100, res.RespMean, res.SpinUps)
+			p.name, m.PowerSavingRatio*100, m.RespMean, m.SpinUps)
 	}
 
 	// Cross-check the fixed policy against the analytic model.
-	loads, err := diskpack.AnalyzeAllocation(tr.Files, alloc.DiskOf, farm, params)
+	loads, err := diskpack.AnalyzeAllocation(tr.Files, alloc.DiskOf, alloc.NumDisks, params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,12 @@
-// Quickstart: generate a small Zipf workload, allocate it with the
-// paper's Pack_Disks algorithm, simulate the disk farm, and compare
-// energy and response time against random placement.
+// Quickstart: describe a whole experiment — workload, allocation,
+// spin-down policy, farm size — as one declarative FarmSpec and run it.
+// Two specs that differ only in their allocation strategy reproduce the
+// paper's headline comparison: Pack_Disks versus random placement.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"diskpack"
 )
@@ -20,51 +20,38 @@ func main() {
 	wl.NumFiles = 2000
 	wl.MaxSize /= 100
 	wl.MinSize /= 100
-	tr, err := wl.Build()
+
+	// The base spec: 20 disks under the break-even spin-down policy
+	// (53.3 s for the Table 2 drive). Everything is data — swap any
+	// field to ask a different question.
+	base := diskpack.FarmSpec{
+		FarmSize: 20,
+		Workload: diskpack.SyntheticFarmWorkload(wl),
+		Spin:     diskpack.FarmSpin{Kind: diskpack.SpinBreakEven},
+	}
+
+	packSpec := base
+	packSpec.Name = "pack"
+	packSpec.Alloc = diskpack.PackedAlloc(0.7) // Pack_Disks at L = 70%
+
+	randomSpec := base
+	randomSpec.Name = "random"
+	randomSpec.Alloc = diskpack.FarmAlloc{
+		Kind: diskpack.AllocRandom, CapL: 0.7, Disks: 20,
+	}
+
+	const seed = 1
+	packed, err := diskpack.RunFarm(packSpec, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scattered, err := diskpack.RunFarm(randomSpec, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Normalize files into 2DVPP items: sizes against the 500 GB disk,
-	// loads against 70% of the disk's service capability.
-	params := diskpack.DefaultDiskParams()
-	items, err := diskpack.ItemsFromTrace(tr, params, 0.7)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Pack with the O(n log n) algorithm; Theorem 1 guarantees we are
-	// within 1/(1-rho) of the optimal disk count.
-	alloc, err := diskpack.Pack(items)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("Pack_Disks used %d disks (lower bound %d, rho %.3f)\n",
-		alloc.NumDisks, diskpack.LowerBoundDisks(items), diskpack.Rho(items))
-
-	// Simulate a farm of 20 disks under the break-even spin-down
-	// policy (53.3 s for this drive).
-	farm := alloc.NumDisks
-	if farm < 20 {
-		farm = 20
-	}
-	cfg := diskpack.SimConfig{NumDisks: farm, IdleThreshold: diskpack.BreakEvenThreshold}
-	packed, err := diskpack.Simulate(tr, alloc.DiskOf, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Baseline: the same files scattered uniformly over the farm.
-	rng := rand.New(rand.NewSource(2))
-	random := make([]int, len(items))
-	for i := range random {
-		random[i] = rng.Intn(farm)
-	}
-	scattered, err := diskpack.Simulate(tr, random, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
+		packed.DisksUsed, packed.LowerBound, packed.Rho)
 	fmt.Printf("\n%-22s %14s %14s\n", "", "Pack_Disks", "Random")
 	fmt.Printf("%-22s %12.1f W %12.1f W\n", "average power", packed.AvgPower, scattered.AvgPower)
 	fmt.Printf("%-22s %12.1f %% %12.1f %%\n", "saving vs always-on", packed.PowerSavingRatio*100, scattered.PowerSavingRatio*100)

@@ -1,7 +1,8 @@
 // Trade-off frontier: reproduce the paper's Figure 4 in miniature —
 // sweep the load constraint L at fixed arrival rate and print the
 // power/response-time frontier, the titular trade-off between power
-// saving and response time.
+// saving and response time. Each point of the sweep is one declarative
+// FarmSpec differing only in its Alloc.CapL.
 package main
 
 import (
@@ -14,14 +15,35 @@ import (
 
 func main() {
 	const arrivalRate = 6.0
+	const seed = 1
 	wl := diskpack.Table1Workload(arrivalRate, 1)
 	wl.NumFiles = 2000
 	wl.MaxSize /= 20
-	tr, err := wl.Build()
-	if err != nil {
-		log.Fatal(err)
+
+	spec := func(L float64, farmSize int) diskpack.FarmSpec {
+		return diskpack.FarmSpec{
+			Name:     fmt.Sprintf("tradeoff-L%.2f", L),
+			FarmSize: farmSize,
+			Workload: diskpack.SyntheticFarmWorkload(wl),
+			Alloc:    diskpack.PackedAlloc(L),
+			Spin:     diskpack.FarmSpin{Kind: diskpack.SpinBreakEven},
+		}
 	}
-	params := diskpack.DefaultDiskParams()
+
+	Ls := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
+	// Planning pass (allocation only, no simulation): find the largest
+	// packing across the sweep, so every run shares one farm and
+	// wattages are comparable.
+	farmSize := 0
+	for _, L := range Ls {
+		plan, err := diskpack.PlanFarm(spec(L, 0), seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if plan.DisksUsed > farmSize {
+			farmSize = plan.DisksUsed
+		}
+	}
 
 	type point struct {
 		L     float64
@@ -29,32 +51,12 @@ func main() {
 		resp  float64
 	}
 	var frontier []point
-	farm := 0
-	var allocs []*diskpack.Assignment
-	Ls := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
 	for _, L := range Ls {
-		items, err := diskpack.ItemsFromTrace(tr, params, L)
+		m, err := diskpack.RunFarm(spec(L, farmSize), seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		a, err := diskpack.Pack(items)
-		if err != nil {
-			log.Fatal(err)
-		}
-		allocs = append(allocs, a)
-		if a.NumDisks > farm {
-			farm = a.NumDisks
-		}
-	}
-	for i, L := range Ls {
-		res, err := diskpack.Simulate(tr, allocs[i].DiskOf, diskpack.SimConfig{
-			NumDisks:      farm,
-			IdleThreshold: diskpack.BreakEvenThreshold,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		frontier = append(frontier, point{L, res.AvgPower, res.RespMean})
+		frontier = append(frontier, point{L, m.AvgPower, m.RespMean})
 	}
 
 	// Render the two curves as aligned bars (power falls, response

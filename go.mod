@@ -1,0 +1,3 @@
+module diskpack
+
+go 1.24

@@ -68,6 +68,30 @@ func DefaultParams() Params {
 	}
 }
 
+// EcoParams returns a 5400 RPM nearline-class drive: bigger and far
+// cheaper to keep spinning than the Table 2 drive, but slower to
+// position and transfer. Mixing these with DefaultParams drives in one
+// farm is the heterogeneous scenario the paper's homogeneous evaluation
+// cannot express — cold data on eco spindles, hot data on fast ones.
+func EcoParams() Params {
+	return Params{
+		Model:           "Eco 5400rpm nearline",
+		RotationalRPM:   5400,
+		AvgSeekTime:     12e-3,
+		AvgRotationTime: 5.55e-3,
+		CapacityBytes:   1 * TB,
+		TransferRate:    45 * MB,
+		IdlePower:       5.0,
+		StandbyPower:    0.6,
+		ActivePower:     8.0,
+		SeekPower:       7.5,
+		SpinUpPower:     20,
+		SpinDownPower:   5.0,
+		SpinUpTime:      12,
+		SpinDownTime:    8,
+	}
+}
+
 // Validate reports the first implausible parameter, or nil.
 func (p Params) Validate() error {
 	switch {

@@ -5,8 +5,8 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/disk"
+	"diskpack/internal/farm"
 	"diskpack/internal/model"
-	"diskpack/internal/storage"
 )
 
 // Analysis validates the closed-form M/G/1 model (internal/model)
@@ -27,7 +27,7 @@ func Analysis(opts Options) (*Table, error) {
 		return nil, err
 	}
 	Ls := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
-	farm := opts.scaleCount(synthFarmBase, 4)
+	farmSize := opts.scaleCount(synthFarmBase, 4)
 	assigns := make([]*core.Assignment, len(Ls))
 	for i, L := range Ls {
 		items, err := packItems(tr.Files, params, L)
@@ -39,8 +39,8 @@ func Analysis(opts Options) (*Table, error) {
 			return nil, err
 		}
 		assigns[i] = a
-		if a.NumDisks > farm {
-			farm = a.NumDisks
+		if a.NumDisks > farmSize {
+			farmSize = a.NumDisks
 		}
 	}
 	table := &Table{
@@ -52,16 +52,13 @@ func Analysis(opts Options) (*Table, error) {
 	threshold := params.BreakEvenThreshold()
 	rows := make([][]float64, len(Ls))
 	err = parallelFor(len(Ls), opts.workers(), func(i int) error {
-		loads, err := model.AnalyzeAssignment(tr.Files, assigns[i].DiskOf, farm, params)
+		loads, err := model.AnalyzeAssignment(tr.Files, assigns[i].DiskOf, farmSize, params)
 		if err != nil {
 			return err
 		}
 		pred := model.PredictFarm(loads, params, threshold)
-		res, err := storage.Run(tr, assigns[i].DiskOf, storage.Config{
-			NumDisks:      farm,
-			DiskParams:    params,
-			IdleThreshold: threshold,
-		})
+		res, err := simulate(tr, assigns[i].DiskOf, farmSize,
+			farm.FixedSpin(threshold), 0, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -78,6 +75,6 @@ func Analysis(opts Options) (*Table, error) {
 	table.Rows = rows
 	table.SortByX()
 	table.Notes = append(table.Notes,
-		fmt.Sprintf("farm %d disks; threshold %.1f s; prediction is mean-value (independent M/G/1 disks + renewal gap model)", farm, threshold))
+		fmt.Sprintf("farm %d disks; threshold %.1f s; prediction is mean-value (independent M/G/1 disks + renewal gap model)", farmSize, threshold))
 	return table, nil
 }

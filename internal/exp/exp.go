@@ -17,7 +17,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"diskpack/internal/farm"
+	"diskpack/internal/trace"
 )
+
+// simulate routes one pre-allocated simulation point through the farm
+// engine — the single simulation entry every experiment shares. The
+// trace and assignment are fixed inputs, so the seed only matters for
+// seeded spin policies (farm.SpinRandomized).
+func simulate(tr *trace.Trace, assign []int, farmSize int, spin farm.SpinSpec, cacheBytes int64, seed int64) (*farm.Metrics, error) {
+	return farm.Run(farm.Spec{
+		Workload:   farm.TraceWorkload(tr),
+		Alloc:      farm.Explicit(assign),
+		FarmSize:   farmSize,
+		Spin:       spin,
+		CacheBytes: cacheBytes,
+	}, seed)
+}
 
 // Options configures an experiment run.
 type Options struct {

@@ -6,7 +6,7 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/disk"
-	"diskpack/internal/storage"
+	"diskpack/internal/farm"
 	"diskpack/internal/trace"
 	"diskpack/internal/workload"
 )
@@ -87,7 +87,7 @@ func Fig23(opts Options) (fig2, fig3 *Table, err error) {
 		// Pack once per L; all runs share the largest farm so energy
 		// totals are comparable.
 		assigns := make([]*core.Assignment, len(Ls))
-		farm := farmBase
+		farmSize := farmBase
 		for li, L := range Ls {
 			items, err := packItems(tr.Files, params, L)
 			if err != nil {
@@ -98,8 +98,8 @@ func Fig23(opts Options) (fig2, fig3 *Table, err error) {
 				return err
 			}
 			assigns[li] = a
-			if a.NumDisks > farm {
-				farm = a.NumDisks
+			if a.NumDisks > farmSize {
+				farmSize = a.NumDisks
 			}
 		}
 		rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(ri)))
@@ -107,17 +107,17 @@ func Fig23(opts Options) (fig2, fig3 *Table, err error) {
 		if err != nil {
 			return err
 		}
-		rndAssign, err := core.RandomAssign(items, farm, rng)
+		rndAssign, err := core.RandomAssign(items, farmSize, rng)
 		if err != nil {
 			return err
 		}
-		simCfg := storage.Config{NumDisks: farm, DiskParams: params, IdleThreshold: storage.BreakEven}
-		rnd, err := storage.Run(tr, rndAssign.DiskOf, simCfg)
+		breakEven := farm.SpinSpec{Kind: farm.SpinBreakEven}
+		rnd, err := simulate(tr, rndAssign.DiskOf, farmSize, breakEven, 0, opts.Seed)
 		if err != nil {
 			return err
 		}
 		for li := range Ls {
-			pack, err := storage.Run(tr, assigns[li].DiskOf, simCfg)
+			pack, err := simulate(tr, assigns[li].DiskOf, farmSize, breakEven, 0, opts.Seed)
 			if err != nil {
 				return err
 			}
@@ -172,7 +172,7 @@ func Fig4(opts Options) (*Table, error) {
 	}
 	// One farm size across all L so wattages are comparable.
 	assigns := make([]*core.Assignment, len(Ls))
-	farm := farmBase
+	farmSize := farmBase
 	for li, L := range Ls {
 		items, err := packItems(tr.Files, params, L)
 		if err != nil {
@@ -183,8 +183,8 @@ func Fig4(opts Options) (*Table, error) {
 			return nil, err
 		}
 		assigns[li] = a
-		if a.NumDisks > farm {
-			farm = a.NumDisks
+		if a.NumDisks > farmSize {
+			farmSize = a.NumDisks
 		}
 	}
 	table := &Table{
@@ -195,8 +195,8 @@ func Fig4(opts Options) (*Table, error) {
 	}
 	rows := make([][]float64, len(Ls))
 	err = parallelFor(len(Ls), opts.workers(), func(li int) error {
-		res, err := storage.Run(tr, assigns[li].DiskOf,
-			storage.Config{NumDisks: farm, DiskParams: params, IdleThreshold: storage.BreakEven})
+		res, err := simulate(tr, assigns[li].DiskOf, farmSize,
+			farm.SpinSpec{Kind: farm.SpinBreakEven}, 0, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -210,6 +210,6 @@ func Fig4(opts Options) (*Table, error) {
 		table.Rows = append(table.Rows, r)
 	}
 	table.SortByX()
-	table.Notes = append(table.Notes, fmt.Sprintf("farm size %d disks, %d files, R=%d/s", farm, cfg.NumFiles, R))
+	table.Notes = append(table.Notes, fmt.Sprintf("farm size %d disks, %d files, R=%d/s", farmSize, cfg.NumFiles, R))
 	return table, nil
 }

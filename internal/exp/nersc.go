@@ -6,7 +6,7 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/disk"
-	"diskpack/internal/storage"
+	"diskpack/internal/farm"
 	"diskpack/internal/trace"
 	"diskpack/internal/workload"
 )
@@ -28,11 +28,11 @@ var fig56Thresholds = []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0}
 // allocations of Figures 5 and 6 (random, Pack_Disk, Pack_Disk_4, the
 // cached variants reuse the uncached allocations).
 type nerscSetup struct {
-	tr    *trace.Trace
-	farm  int
-	rnd   []int
-	pack1 []int
-	pack4 []int
+	tr       *trace.Trace
+	farmSize int
+	rnd      []int
+	pack1    []int
+	pack4    []int
 }
 
 func buildNERSC(opts Options) (*nerscSetup, error) {
@@ -61,16 +61,16 @@ func buildNERSC(opts Options) (*nerscSetup, error) {
 	// The paper gives random placement the same number of disks as
 	// Pack_Disks (96 vs 95 minimum); the farm must fit the group
 	// variant too.
-	farm := p1.NumDisks
-	if p4.NumDisks > farm {
-		farm = p4.NumDisks
+	farmSize := p1.NumDisks
+	if p4.NumDisks > farmSize {
+		farmSize = p4.NumDisks
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
-	rnd, err := core.RandomAssignCapacity(items, farm, rng)
+	rnd, err := core.RandomAssignCapacity(items, farmSize, rng)
 	if err != nil {
 		return nil, err
 	}
-	return &nerscSetup{tr: tr, farm: farm, rnd: rnd.DiskOf, pack1: p1.DiskOf, pack4: p4.DiskOf}, nil
+	return &nerscSetup{tr: tr, farmSize: farmSize, rnd: rnd.DiskOf, pack1: p1.DiskOf, pack4: p4.DiskOf}, nil
 }
 
 // fig56Series describes one curve of Figures 5 and 6.
@@ -114,11 +114,8 @@ func Fig56(opts Options) (fig5, fig6 *Table, err error) {
 		ti := k / len(fig56SeriesList)
 		si := k % len(fig56SeriesList)
 		series := fig56SeriesList[si]
-		res, err := storage.Run(setup.tr, series.assign(setup), storage.Config{
-			NumDisks:      setup.farm,
-			IdleThreshold: fig56Thresholds[ti] * 3600,
-			CacheBytes:    series.cache,
-		})
+		res, err := simulate(setup.tr, series.assign(setup), setup.farmSize,
+			farm.FixedSpin(fig56Thresholds[ti]*3600), series.cache, opts.Seed)
 		if err != nil {
 			return fmt.Errorf("%s @ %vh: %w", series.name, fig56Thresholds[ti], err)
 		}
@@ -139,7 +136,7 @@ func Fig56(opts Options) (fig5, fig6 *Table, err error) {
 		fig5.AddRow(th, savings...)
 		fig6.AddRow(th, resps...)
 	}
-	note := fmt.Sprintf("farm %d disks; %d files, %d requests", setup.farm, len(setup.tr.Files), len(setup.tr.Requests))
+	note := fmt.Sprintf("farm %d disks; %d files, %d requests", setup.farmSize, len(setup.tr.Files), len(setup.tr.Requests))
 	if hr := cells[len(fig56SeriesList)-1].hitRatio; hr > 0 {
 		note += fmt.Sprintf("; LRU hit ratio %.1f%% (paper: 5.6%%)", hr*100)
 	}
@@ -167,15 +164,15 @@ func VSweep(opts Options) (*Table, error) {
 	}
 	vs := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	assigns := make([]*core.Assignment, len(vs))
-	farm := setup.farm
+	farmSize := setup.farmSize
 	for i, v := range vs {
 		a, err := core.PackDisksV(items, v)
 		if err != nil {
 			return nil, err
 		}
 		assigns[i] = a
-		if a.NumDisks > farm {
-			farm = a.NumDisks
+		if a.NumDisks > farmSize {
+			farmSize = a.NumDisks
 		}
 	}
 	table := &Table{
@@ -186,10 +183,8 @@ func VSweep(opts Options) (*Table, error) {
 	}
 	rows := make([][]float64, len(vs))
 	err = parallelFor(len(vs), opts.workers(), func(i int) error {
-		res, err := storage.Run(setup.tr, assigns[i].DiskOf, storage.Config{
-			NumDisks:      farm,
-			IdleThreshold: 0.5 * 3600,
-		})
+		res, err := simulate(setup.tr, assigns[i].DiskOf, farmSize,
+			farm.FixedSpin(0.5*3600), 0, opts.Seed)
 		if err != nil {
 			return err
 		}

@@ -3,9 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"diskpack/internal/disk"
-	"diskpack/internal/policy"
-	"diskpack/internal/storage"
+	"diskpack/internal/farm"
 )
 
 // Policies runs the dynamic-power-management ablation the paper's
@@ -15,7 +13,8 @@ import (
 // randomized e/(e−1)-competitive policy — under both Pack_Disks and
 // random placement. It extends Figure 5's single policy axis with the
 // orthogonal question: once files are packed, how much does the
-// spin-down rule itself matter?
+// spin-down rule itself matter? Every policy is one farm.SpinSpec; the
+// engine owns the per-disk policy plumbing.
 func Policies(opts Options) (*Table, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -24,27 +23,15 @@ func Policies(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := disk.DefaultParams()
-	type pol struct {
-		name    string
-		factory func(seed int64) func(int) disk.SpinPolicy
-	}
-	pols := []pol{
-		{"always-on", func(int64) func(int) disk.SpinPolicy {
-			return func(int) disk.SpinPolicy { return policy.AlwaysOn{} }
-		}},
-		{"immediate", func(int64) func(int) disk.SpinPolicy {
-			return func(int) disk.SpinPolicy { return policy.Immediate{} }
-		}},
-		{"break-even", func(int64) func(int) disk.SpinPolicy {
-			return func(int) disk.SpinPolicy { return policy.NewBreakEven(params) }
-		}},
-		{"adaptive", func(int64) func(int) disk.SpinPolicy {
-			return func(int) disk.SpinPolicy { return policy.NewAdaptive(params) }
-		}},
-		{"randomized", func(seed int64) func(int) disk.SpinPolicy {
-			return func(id int) disk.SpinPolicy { return policy.NewRandomized(params, seed+int64(id)) }
-		}},
+	pols := []struct {
+		name string
+		spin farm.SpinSpec
+	}{
+		{"always-on", farm.SpinSpec{Kind: farm.SpinNever}},
+		{"immediate", farm.SpinSpec{Kind: farm.SpinImmediate}},
+		{"break-even", farm.SpinSpec{Kind: farm.SpinBreakEven}},
+		{"adaptive", farm.SpinSpec{Kind: farm.SpinAdaptive}},
+		{"randomized", farm.SpinSpec{Kind: farm.SpinRandomized}},
 	}
 	table := &Table{
 		Name:   "policies",
@@ -66,10 +53,7 @@ func Policies(opts Options) (*Table, error) {
 		if packSide {
 			assign = setup.pack1
 		}
-		res, err := storage.Run(setup.tr, assign, storage.Config{
-			NumDisks:      setup.farm,
-			PolicyFactory: pols[pi].factory(opts.Seed + int64(pi)),
-		})
+		res, err := simulate(setup.tr, assign, setup.farmSize, pols[pi].spin, 0, opts.Seed+int64(pi))
 		if err != nil {
 			return fmt.Errorf("policy %s: %w", pols[pi].name, err)
 		}

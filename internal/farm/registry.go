@@ -1,0 +1,152 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// SLOSweep turns a scenario into an operating-point search: the base
+// Spec is run once per threshold (overriding its spin policy with a
+// fixed threshold) and the sweep reports the most power-frugal point
+// whose p95 response time stays within the SLO — the paper's trade-off
+// posed as the question an operator actually asks.
+type SLOSweep struct {
+	// Thresholds are the idleness thresholds to try, in seconds.
+	Thresholds []float64
+	// MaxP95 is the response-time SLO in seconds.
+	MaxP95 float64
+}
+
+// validate reports the first inconsistency.
+func (s *SLOSweep) validate() error {
+	if len(s.Thresholds) == 0 {
+		return fmt.Errorf("farm: sweep without thresholds")
+	}
+	for i, t := range s.Thresholds {
+		if t < 0 || math.IsNaN(t) {
+			return fmt.Errorf("farm: sweep threshold %d is %v", i, t)
+		}
+	}
+	if s.MaxP95 <= 0 || math.IsNaN(s.MaxP95) {
+		return fmt.Errorf("farm: sweep SLO %v must be positive", s.MaxP95)
+	}
+	return nil
+}
+
+// Scenario is a named, documented entry of the scenario catalogue.
+type Scenario struct {
+	Name string
+	// Doc is a one-line description shown by listings.
+	Doc string
+	// Spec is the scenario's simulation point.
+	Spec Spec
+	// Sweep, when non-nil, runs the spec once per threshold and selects
+	// an operating point (see SLOSweep).
+	Sweep *SLOSweep
+}
+
+// Result is the outcome of running a scenario: one Metrics per run
+// (single-element without a sweep) plus the sweep's verdict.
+type Result struct {
+	Scenario Scenario
+	// Labels[i] names Runs[i] (the threshold for sweep runs).
+	Labels []string
+	Runs   []*Metrics
+	// Best indexes the chosen operating point in Runs: the
+	// lowest-energy run meeting the sweep's SLO, or −1 when no run
+	// meets it. Always 0 without a sweep.
+	Best int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scenario{}
+)
+
+// Register adds a scenario to the catalogue. It panics on an empty or
+// duplicate name or an invalid spec — registration happens at init time
+// and a bad scenario is a programming error.
+func Register(sc Scenario) {
+	if sc.Name == "" {
+		panic("farm: Register with empty scenario name")
+	}
+	if err := sc.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("farm: scenario %q: %v", sc.Name, err))
+	}
+	if sc.Sweep != nil {
+		if err := sc.Sweep.validate(); err != nil {
+			panic(fmt.Sprintf("farm: scenario %q: %v", sc.Name, err))
+		}
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[sc.Name]; dup {
+		panic(fmt.Sprintf("farm: duplicate scenario %q", sc.Name))
+	}
+	registry[sc.Name] = sc
+}
+
+// Scenarios returns the catalogue sorted by name.
+func Scenarios() []Scenario {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// RunScenario executes the named scenario: a single Run without a
+// sweep, or one Run per threshold with the sweep's operating-point
+// selection.
+func RunScenario(name string, seed int64) (*Result, error) {
+	sc, ok := Lookup(name)
+	if !ok {
+		names := make([]string, 0)
+		for _, s := range Scenarios() {
+			names = append(names, s.Name)
+		}
+		return nil, fmt.Errorf("farm: unknown scenario %q (have %v)", name, names)
+	}
+	return runScenario(sc, seed)
+}
+
+// runScenario executes an already-resolved scenario.
+func runScenario(sc Scenario, seed int64) (*Result, error) {
+	if sc.Sweep == nil {
+		m, err := Run(sc.Spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Scenario: sc, Labels: []string{sc.Spec.Name}, Runs: []*Metrics{m}, Best: 0}, nil
+	}
+	res := &Result{Scenario: sc, Best: -1}
+	bestEnergy := math.Inf(1)
+	for _, th := range sc.Sweep.Thresholds {
+		spec := sc.Spec
+		spec.Spin = FixedSpin(th)
+		m, err := Run(spec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("farm: scenario %s @ threshold %gs: %w", sc.Name, th, err)
+		}
+		res.Labels = append(res.Labels, fmt.Sprintf("threshold=%gs", th))
+		res.Runs = append(res.Runs, m)
+		if m.RespP95 <= sc.Sweep.MaxP95 && m.Energy < bestEnergy {
+			bestEnergy = m.Energy
+			res.Best = len(res.Runs) - 1
+		}
+	}
+	return res, nil
+}

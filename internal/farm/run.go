@@ -1,0 +1,280 @@
+package farm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diskpack/internal/core"
+	"diskpack/internal/disk"
+	"diskpack/internal/policy"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
+)
+
+// Metrics is the unified result of one scenario run: the power and
+// response-time quantities the paper trades off, the packing-quality
+// numbers of Theorem 1, and per-disk utilization. Sim retains the full
+// storage.Results (per-disk breakdowns, write accounting) for callers
+// that need more.
+type Metrics struct {
+	Spec string // Spec.Name
+	Seed int64
+
+	// Farm shape.
+	FarmSize  int // simulated disks, including never-used ones
+	DisksUsed int // disks the allocation actually populated
+	// Packing quality (zero for AllocExplicit, which has no items).
+	LowerBound int
+	Rho        float64
+
+	// Energy and power.
+	Duration         float64
+	Energy           float64 // joules
+	AvgPower         float64 // watts
+	NoSavingEnergy   float64 // joules, spin-down disabled baseline
+	PowerSavingRatio float64 // 1 − Energy/NoSavingEnergy
+
+	// Response-time distribution, seconds.
+	RespMean, RespMedian, RespP95, RespP99, RespMax float64
+
+	// Request and activity counts.
+	Completed, Unfinished int64
+	SpinUps, SpinDowns    int
+	AvgStandbyDisks       float64
+	CacheHitRatio         float64
+
+	// Utilization[i] is disk i's busy fraction (seek + transfer time
+	// over the horizon).
+	Utilization []float64
+
+	Sim *storage.Results
+}
+
+// BuildTrace materializes the spec's workload. Generated workloads use
+// the given seed in place of the config's; a pre-built trace is
+// returned as-is.
+func BuildTrace(w WorkloadSpec, seed int64) (*trace.Trace, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	switch w.Kind {
+	case WorkloadTrace:
+		return w.Trace, nil
+	case WorkloadSynthetic:
+		cfg := *w.Synthetic
+		cfg.Seed = seed
+		return cfg.Build()
+	case WorkloadNERSC:
+		cfg := *w.NERSC
+		cfg.Seed = seed
+		return cfg.Build()
+	case WorkloadBursty:
+		cfg := *w.Bursty
+		cfg.Seed = seed
+		return cfg.Build()
+	default:
+		return nil, fmt.Errorf("farm: unknown workload kind %d", int(w.Kind))
+	}
+}
+
+// Items converts a trace's file population into packing items
+// normalized against the spec's reference drive and the alloc spec's
+// load constraint.
+func (s Spec) Items(tr *trace.Trace) ([]core.Item, error) {
+	ref := s.referenceParams()
+	sizes := make([]int64, len(tr.Files))
+	rates := make([]float64, len(tr.Files))
+	for i, f := range tr.Files {
+		sizes[i] = f.Size
+		rates[i] = f.Rate
+	}
+	return core.BuildItems(sizes, rates, ref.ServiceTime, ref.CapacityBytes, s.Alloc.CapL)
+}
+
+// Allocation is the output of the allocation stage: the file→disk map
+// plus the packing-quality numbers of Theorem 1 (zero for
+// AllocExplicit, which has no items).
+type Allocation struct {
+	Assign     []int
+	DisksUsed  int
+	LowerBound int
+	Rho        float64
+}
+
+// Plan runs only the workload-synthesis and allocation stages of a
+// spec — no simulation. Use it to size a shared farm across a sweep of
+// specs before the real runs; like Run it is a pure function of
+// (spec, seed).
+func Plan(spec Spec, seed int64) (*Allocation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := BuildTrace(spec.Workload, seed)
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: workload: %w", spec.Name, err)
+	}
+	return spec.allocate(tr, seed+1)
+}
+
+// allocate runs the spec's allocation strategy over the trace's files.
+func (s Spec) allocate(tr *trace.Trace, seed int64) (*Allocation, error) {
+	if s.Alloc.Kind == AllocExplicit {
+		used := 0
+		for _, d := range s.Alloc.Assign {
+			if d+1 > used {
+				used = d + 1
+			}
+		}
+		return &Allocation{Assign: s.Alloc.Assign, DisksUsed: used}, nil
+	}
+	items, err := s.Items(tr)
+	if err != nil {
+		return nil, err
+	}
+	var a *core.Assignment
+	switch s.Alloc.Kind {
+	case AllocPack:
+		a, err = core.PackDisks(items)
+	case AllocPackV:
+		a, err = core.PackDisksV(items, s.Alloc.V)
+	case AllocRandom:
+		n := s.Alloc.Disks
+		if n == 0 {
+			ref, err2 := core.PackDisks(items)
+			if err2 != nil {
+				return nil, err2
+			}
+			n = ref.NumDisks
+		}
+		a, err = core.RandomAssignCapacity(items, n, rand.New(rand.NewSource(seed)))
+	case AllocFirstFit:
+		a, err = core.FirstFit(items)
+	case AllocFirstFitDecreasing:
+		a, err = core.FirstFitDecreasing(items)
+	case AllocBestFit:
+		a, err = core.BestFit(items)
+	case AllocChangHwangPark:
+		a, err = core.ChangHwangPark(items)
+	default:
+		return nil, fmt.Errorf("farm: unknown allocation kind %d", int(s.Alloc.Kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Allocation{
+		Assign:     a.DiskOf,
+		DisksUsed:  a.NumDisks,
+		LowerBound: core.LowerBoundDisks(items),
+		Rho:        core.Rho(items),
+	}, nil
+}
+
+// spinConfig maps the spin spec onto storage.Config fields. perDisk is
+// the heterogeneous parameter slice (nil for homogeneous farms);
+// adaptive and randomized policies are centred on each disk's own
+// break-even time.
+func (s Spec) spinConfig(perDisk []disk.Params, seed int64) (threshold float64, factory func(int) disk.SpinPolicy, err error) {
+	paramsAt := func(i int) disk.Params {
+		if len(perDisk) > 0 {
+			return perDisk[i]
+		}
+		return disk.DefaultParams()
+	}
+	switch s.Spin.Kind {
+	case SpinBreakEven:
+		return storage.BreakEven, nil, nil
+	case SpinFixed:
+		return s.Spin.Threshold, nil, nil
+	case SpinNever:
+		return disk.NeverSpinDown, nil, nil
+	case SpinImmediate:
+		return 0, nil, nil
+	case SpinAdaptive:
+		return 0, func(i int) disk.SpinPolicy { return policy.NewAdaptive(paramsAt(i)) }, nil
+	case SpinRandomized:
+		return 0, func(i int) disk.SpinPolicy { return policy.NewRandomized(paramsAt(i), seed+int64(i)) }, nil
+	default:
+		return 0, nil, fmt.Errorf("farm: unknown spin kind %d", int(s.Spin.Kind))
+	}
+}
+
+// Run compiles the spec into a simulation and executes it. It is a pure
+// function of (spec, seed): the same inputs always produce identical
+// Metrics.
+func Run(spec Spec, seed int64) (*Metrics, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := BuildTrace(spec.Workload, seed)
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: workload: %w", spec.Name, err)
+	}
+	alloc, err := spec.allocate(tr, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: allocation: %w", spec.Name, err)
+	}
+
+	farmSize := alloc.DisksUsed
+	perDisk := spec.perDiskParams()
+	if len(perDisk) > 0 {
+		farmSize = len(perDisk)
+		if alloc.DisksUsed > farmSize {
+			return nil, fmt.Errorf("farm %s: allocation uses %d disks but groups provide only %d",
+				spec.Name, alloc.DisksUsed, farmSize)
+		}
+	} else if spec.FarmSize > farmSize {
+		farmSize = spec.FarmSize
+	}
+	if farmSize < 1 {
+		farmSize = 1
+	}
+
+	threshold, factory, err := spec.spinConfig(perDisk, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	res, err := storage.Run(tr, alloc.Assign, storage.Config{
+		NumDisks:      farmSize,
+		PerDisk:       perDisk,
+		IdleThreshold: threshold,
+		PolicyFactory: factory,
+		CacheBytes:    spec.CacheBytes,
+		WriteBestFit:  spec.WriteBestFit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)
+	}
+
+	m := &Metrics{
+		Spec:             spec.Name,
+		Seed:             seed,
+		FarmSize:         farmSize,
+		DisksUsed:        alloc.DisksUsed,
+		LowerBound:       alloc.LowerBound,
+		Rho:              alloc.Rho,
+		Duration:         res.Duration,
+		Energy:           res.Energy,
+		AvgPower:         res.AvgPower,
+		NoSavingEnergy:   res.NoSavingEnergy,
+		PowerSavingRatio: res.PowerSavingRatio,
+		RespMean:         res.RespMean,
+		RespMedian:       res.RespMedian,
+		RespP95:          res.RespP95,
+		RespP99:          res.RespP99,
+		RespMax:          res.RespMax,
+		Completed:        res.Completed,
+		Unfinished:       res.Unfinished,
+		SpinUps:          res.SpinUps,
+		SpinDowns:        res.SpinDowns,
+		AvgStandbyDisks:  res.AvgStandbyDisks,
+		CacheHitRatio:    res.CacheHitRatio,
+		Utilization:      make([]float64, farmSize),
+		Sim:              res,
+	}
+	if res.Duration > 0 {
+		for i, b := range res.PerDisk {
+			m.Utilization[i] = (b.Durations[disk.Seeking] + b.Durations[disk.Transferring]) / res.Duration
+		}
+	}
+	return m, nil
+}

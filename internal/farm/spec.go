@@ -1,0 +1,398 @@
+// Package farm is the declarative scenario engine for the paper's
+// trade-off grid. A Spec names every axis of one experiment point —
+// farm layout (homogeneous or mixed drive groups), allocation strategy,
+// spin-down policy, workload source, and optional front cache — and
+// Run(spec, seed) compiles it into a simulation and returns one unified
+// Metrics struct. Run is a pure function of (spec, seed): repeated runs
+// are byte-identical, which is what lets the experiment harness fan
+// thousands of points across workers and lets a regression test pin any
+// scenario's output.
+//
+// Scenarios — named, documented Specs, optionally with a
+// threshold-sweep stage — live in a registry (Register / Scenarios) so
+// that the CLI, the experiment harness, and the examples all draw from
+// the same catalogue. Adding a new experiment point to the grid is one
+// registered Spec, not a new file of hand-wired setup.
+package farm
+
+import (
+	"fmt"
+	"math"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+	"diskpack/internal/workload"
+)
+
+// DiskGroup is a run of identical drives within a farm. Disks are
+// numbered group by group: the first group's drives get the lowest IDs,
+// which — because every allocator fills low-numbered disks first — makes
+// the first group the "hot" tier of a heterogeneous farm.
+type DiskGroup struct {
+	Count  int
+	Params disk.Params
+}
+
+// WorkloadKind selects the workload source of a Spec.
+type WorkloadKind int
+
+const (
+	// WorkloadTrace replays a pre-built trace verbatim (the seed does
+	// not affect it).
+	WorkloadTrace WorkloadKind = iota
+	// WorkloadSynthetic generates the paper's Table 1 workload
+	// (optionally diurnally modulated via Synthetic.Diurnal).
+	WorkloadSynthetic
+	// WorkloadNERSC synthesizes the Section 5.1 NERSC-like log.
+	WorkloadNERSC
+	// WorkloadBursty generates ON/OFF Markov-modulated arrivals.
+	WorkloadBursty
+)
+
+// String names the kind.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadTrace:
+		return "trace"
+	case WorkloadSynthetic:
+		return "synthetic"
+	case WorkloadNERSC:
+		return "nersc"
+	case WorkloadBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("WorkloadKind(%d)", int(k))
+	}
+}
+
+// WorkloadSpec is a declarative workload source. Exactly the field
+// matching Kind must be set; Run overrides the config's Seed with its
+// own seed argument so a Spec stays reusable across seeds.
+type WorkloadSpec struct {
+	Kind      WorkloadKind
+	Trace     *trace.Trace
+	Synthetic *workload.Synthetic
+	NERSC     *workload.NERSC
+	Bursty    *workload.Bursty
+}
+
+// TraceWorkload wraps a pre-built trace as a workload source.
+func TraceWorkload(tr *trace.Trace) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadTrace, Trace: tr}
+}
+
+// SyntheticWorkload wraps a Table 1-style generator config.
+func SyntheticWorkload(cfg workload.Synthetic) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadSynthetic, Synthetic: &cfg}
+}
+
+// NERSCWorkload wraps a NERSC synthesizer config.
+func NERSCWorkload(cfg workload.NERSC) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadNERSC, NERSC: &cfg}
+}
+
+// BurstyWorkload wraps an ON/OFF generator config.
+func BurstyWorkload(cfg workload.Bursty) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadBursty, Bursty: &cfg}
+}
+
+// validate reports the first inconsistency.
+func (w WorkloadSpec) validate() error {
+	switch w.Kind {
+	case WorkloadTrace:
+		if w.Trace == nil {
+			return fmt.Errorf("farm: trace workload without a trace")
+		}
+		return w.Trace.Validate()
+	case WorkloadSynthetic:
+		if w.Synthetic == nil {
+			return fmt.Errorf("farm: synthetic workload without a config")
+		}
+		return w.Synthetic.Validate()
+	case WorkloadNERSC:
+		if w.NERSC == nil {
+			return fmt.Errorf("farm: nersc workload without a config")
+		}
+		return w.NERSC.Validate()
+	case WorkloadBursty:
+		if w.Bursty == nil {
+			return fmt.Errorf("farm: bursty workload without a config")
+		}
+		return w.Bursty.Validate()
+	default:
+		return fmt.Errorf("farm: unknown workload kind %d", int(w.Kind))
+	}
+}
+
+// AllocKind selects the file→disk allocation strategy.
+type AllocKind int
+
+const (
+	// AllocPack is the paper's Pack_Disks (Algorithm 3).
+	AllocPack AllocKind = iota
+	// AllocPackV is the Pack_Disks_v group round-robin variant.
+	AllocPackV
+	// AllocRandom is capacity-respecting random placement.
+	AllocRandom
+	// AllocFirstFit, AllocFirstFitDecreasing, AllocBestFit are the
+	// classical bin-packing comparison allocators.
+	AllocFirstFit
+	AllocFirstFitDecreasing
+	AllocBestFit
+	// AllocChangHwangPark is the O(n²) algorithm Pack_Disks improves on.
+	AllocChangHwangPark
+	// AllocExplicit uses a caller-provided file→disk map verbatim.
+	AllocExplicit
+)
+
+// String names the kind.
+func (k AllocKind) String() string {
+	switch k {
+	case AllocPack:
+		return "pack"
+	case AllocPackV:
+		return "packv"
+	case AllocRandom:
+		return "random"
+	case AllocFirstFit:
+		return "firstfit"
+	case AllocFirstFitDecreasing:
+		return "ffd"
+	case AllocBestFit:
+		return "bestfit"
+	case AllocChangHwangPark:
+		return "chp"
+	case AllocExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("AllocKind(%d)", int(k))
+	}
+}
+
+// AllocSpec parameterizes the allocation stage.
+type AllocSpec struct {
+	Kind AllocKind
+	// CapL is the paper's load constraint L in (0, 1] — the fraction of
+	// one disk's service capability a packing may load onto it. Ignored
+	// by AllocExplicit.
+	CapL float64
+	// V is the group size for AllocPackV (>= 1).
+	V int
+	// Disks is the farm size for AllocRandom (0 = size of the Pack_Disks
+	// packing of the same items, the paper's convention).
+	Disks int
+	// Assign is the explicit file→disk map for AllocExplicit.
+	Assign []int
+}
+
+// Explicit wraps a precomputed assignment.
+func Explicit(assign []int) AllocSpec { return AllocSpec{Kind: AllocExplicit, Assign: assign} }
+
+// Packed returns the paper's default allocation at load constraint L.
+func Packed(capL float64) AllocSpec { return AllocSpec{Kind: AllocPack, CapL: capL} }
+
+// validate reports the first inconsistency.
+func (a AllocSpec) validate() error {
+	switch a.Kind {
+	case AllocExplicit:
+		if a.Assign == nil {
+			return fmt.Errorf("farm: explicit allocation without an assignment")
+		}
+		return nil
+	case AllocPack, AllocPackV, AllocRandom, AllocFirstFit,
+		AllocFirstFitDecreasing, AllocBestFit, AllocChangHwangPark:
+		if !(a.CapL > 0 && a.CapL <= 1) || math.IsNaN(a.CapL) {
+			return fmt.Errorf("farm: load constraint %v outside (0,1]", a.CapL)
+		}
+		if a.Kind == AllocPackV && a.V < 1 {
+			return fmt.Errorf("farm: pack group size %d must be >= 1", a.V)
+		}
+		if a.Disks < 0 {
+			return fmt.Errorf("farm: negative random farm size %d", a.Disks)
+		}
+		return nil
+	default:
+		return fmt.Errorf("farm: unknown allocation kind %d", int(a.Kind))
+	}
+}
+
+// SpinKind selects the spin-down policy family.
+type SpinKind int
+
+const (
+	// SpinBreakEven uses each drive's break-even idleness threshold
+	// (the paper's policy; 53.3 s for the Table 2 drive).
+	SpinBreakEven SpinKind = iota
+	// SpinFixed uses a constant threshold (SpinSpec.Threshold seconds).
+	SpinFixed
+	// SpinNever disables spin-down (the "no power-saving" baseline).
+	SpinNever
+	// SpinImmediate spins down the moment the queue drains.
+	SpinImmediate
+	// SpinAdaptive doubles/halves the threshold from observed gaps.
+	SpinAdaptive
+	// SpinRandomized draws each timeout from the e/(e−1)-competitive
+	// distribution.
+	SpinRandomized
+)
+
+// String names the kind.
+func (k SpinKind) String() string {
+	switch k {
+	case SpinBreakEven:
+		return "breakeven"
+	case SpinFixed:
+		return "fixed"
+	case SpinNever:
+		return "never"
+	case SpinImmediate:
+		return "immediate"
+	case SpinAdaptive:
+		return "adaptive"
+	case SpinRandomized:
+		return "randomized"
+	default:
+		return fmt.Sprintf("SpinKind(%d)", int(k))
+	}
+}
+
+// SpinSpec parameterizes the spin-down policy.
+type SpinSpec struct {
+	Kind SpinKind
+	// Threshold is the fixed idleness threshold in seconds (SpinFixed
+	// only).
+	Threshold float64
+}
+
+// FixedSpin returns a constant-threshold policy spec.
+func FixedSpin(seconds float64) SpinSpec { return SpinSpec{Kind: SpinFixed, Threshold: seconds} }
+
+// validate reports the first inconsistency.
+func (s SpinSpec) validate() error {
+	switch s.Kind {
+	case SpinFixed:
+		if s.Threshold < 0 || math.IsNaN(s.Threshold) {
+			return fmt.Errorf("farm: invalid fixed spin threshold %v", s.Threshold)
+		}
+		return nil
+	case SpinBreakEven, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized:
+		if s.Threshold != 0 {
+			return fmt.Errorf("farm: spin threshold %v set but policy is %v", s.Threshold, s.Kind)
+		}
+		return nil
+	default:
+		return fmt.Errorf("farm: unknown spin kind %d", int(s.Kind))
+	}
+}
+
+// Spec declares one simulation scenario. The zero value is not valid;
+// at minimum Workload must be set (the other stages have usable
+// defaults: Pack at L=0.7 would not be a safe silent default, so Alloc
+// must carry a CapL for the packing kinds — see AllocSpec).
+type Spec struct {
+	// Name labels the run in Metrics and error messages.
+	Name string
+	// Groups lays out a heterogeneous farm. Empty means a homogeneous
+	// farm of DefaultParams drives sized to max(FarmSize, disks the
+	// allocation uses).
+	Groups []DiskGroup
+	// FarmSize forces a minimum homogeneous farm size (the paper
+	// charges both algorithms for the full 100- or 96-disk farm).
+	// Must be zero when Groups is set — group counts fix the size.
+	FarmSize int
+	// Workload is the request source.
+	Workload WorkloadSpec
+	// Alloc is the allocation strategy.
+	Alloc AllocSpec
+	// Spin is the spin-down policy.
+	Spin SpinSpec
+	// CacheBytes enables a front LRU cache when positive.
+	CacheBytes int64
+	// WriteBestFit switches write placement from first-fit to best-fit
+	// among spinning disks.
+	WriteBestFit bool
+}
+
+// Validate reports the first invalid field.
+func (s Spec) Validate() error {
+	if err := s.Workload.validate(); err != nil {
+		return err
+	}
+	if err := s.Alloc.validate(); err != nil {
+		return err
+	}
+	if err := s.Spin.validate(); err != nil {
+		return err
+	}
+	for i, g := range s.Groups {
+		if g.Count <= 0 {
+			return fmt.Errorf("farm: group %d has count %d", i, g.Count)
+		}
+		if err := g.Params.Validate(); err != nil {
+			return fmt.Errorf("farm: group %d: %w", i, err)
+		}
+	}
+	if len(s.Groups) > 0 && s.FarmSize != 0 {
+		return fmt.Errorf("farm: FarmSize %d set alongside Groups (group counts fix the size)", s.FarmSize)
+	}
+	if s.FarmSize < 0 {
+		return fmt.Errorf("farm: negative farm size %d", s.FarmSize)
+	}
+	if s.CacheBytes < 0 {
+		return fmt.Errorf("farm: negative cache size %d", s.CacheBytes)
+	}
+	return nil
+}
+
+// groupTotal returns the summed group counts.
+func (s Spec) groupTotal() int {
+	n := 0
+	for _, g := range s.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// referenceParams returns the drive model used to normalize packing
+// items. Homogeneous farms use their (default) drive. Heterogeneous
+// farms normalize conservatively, taking each worst-case field
+// independently — the smallest capacity, the slowest transfer rate,
+// and the longest seek and rotation times across the groups — so the
+// reference service time is an upper bound for every drive and no
+// drive in any group can be overfilled by the allocation.
+func (s Spec) referenceParams() disk.Params {
+	if len(s.Groups) == 0 {
+		return disk.DefaultParams()
+	}
+	ref := s.Groups[0].Params
+	for _, g := range s.Groups[1:] {
+		if g.Params.CapacityBytes < ref.CapacityBytes {
+			ref.CapacityBytes = g.Params.CapacityBytes
+		}
+		if g.Params.TransferRate < ref.TransferRate {
+			ref.TransferRate = g.Params.TransferRate
+		}
+		if g.Params.AvgSeekTime > ref.AvgSeekTime {
+			ref.AvgSeekTime = g.Params.AvgSeekTime
+		}
+		if g.Params.AvgRotationTime > ref.AvgRotationTime {
+			ref.AvgRotationTime = g.Params.AvgRotationTime
+		}
+	}
+	return ref
+}
+
+// perDiskParams expands Groups into a per-disk parameter slice, or nil
+// for a homogeneous farm.
+func (s Spec) perDiskParams() []disk.Params {
+	if len(s.Groups) == 0 {
+		return nil
+	}
+	out := make([]disk.Params, 0, s.groupTotal())
+	for _, g := range s.Groups {
+		for i := 0; i < g.Count; i++ {
+			out = append(out, g.Params)
+		}
+	}
+	return out
+}

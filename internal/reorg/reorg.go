@@ -20,6 +20,7 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/disk"
+	"diskpack/internal/farm"
 	"diskpack/internal/storage"
 	"diskpack/internal/trace"
 )
@@ -148,28 +149,42 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	farm := cfg.Farm
-	if farm == 0 {
+	farmSize := cfg.Farm
+	if farmSize == 0 {
 		// Default headroom: repackings under measured rates often need
 		// a few more disks than the a-priori packing.
-		farm = used + max(2, used/10)
+		farmSize = used + max(2, used/10)
 	}
-	if farm < used {
-		farm = used
+	if farmSize < used {
+		farmSize = used
 	}
 
-	res := &Result{Farm: farm}
+	res := &Result{Farm: farmSize}
+	// Each epoch is one declarative point for the scenario engine: the
+	// epoch sub-trace replayed against the current allocation.
+	spin := farm.FixedSpin(0)
+	switch {
+	case cfg.IdleThreshold == storage.BreakEven:
+		spin = farm.SpinSpec{Kind: farm.SpinBreakEven}
+	case math.IsInf(cfg.IdleThreshold, 1):
+		spin = farm.SpinSpec{Kind: farm.SpinNever}
+	default:
+		spin = farm.FixedSpin(cfg.IdleThreshold)
+	}
+	groups := []farm.DiskGroup{{Count: farmSize, Params: cfg.DiskParams}}
 	// estimates are the per-file rates the current allocation was
 	// packed with; incremental mode compares them against measurement.
 	estimates := ratesOf(tr.Files)
 	var totalNoSave, respWeighted float64
 	var totalReq int64
 	for ei, ep := range epochs {
-		simRes, err := storage.Run(ep, assign, storage.Config{
-			NumDisks:      farm,
-			DiskParams:    cfg.DiskParams,
-			IdleThreshold: cfg.IdleThreshold,
-		})
+		simRes, err := farm.Run(farm.Spec{
+			Name:     fmt.Sprintf("reorg-epoch-%d", ei),
+			Groups:   groups,
+			Workload: farm.TraceWorkload(ep),
+			Alloc:    farm.Explicit(assign),
+			Spin:     spin,
+		}, 0)
 		if err != nil {
 			return nil, fmt.Errorf("reorg: epoch %d: %w", ei, err)
 		}
@@ -199,14 +214,14 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			var next []int
 			var nextUsed int
 			if cfg.Incremental {
-				next, nextUsed, estimates = incrementalRepack(assign, estimates, rates, tr.Files, cfg, farm)
+				next, nextUsed, estimates = incrementalRepack(assign, estimates, rates, tr.Files, cfg, farmSize)
 			} else {
 				next, nextUsed, err = packWithRates(tr.Files, rates, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("reorg: repacking after epoch %d: %w", ei, err)
 				}
-				if nextUsed > farm {
-					// The farm cannot grow mid-run; fall back to
+				if nextUsed > farmSize {
+					// The farmSize cannot grow mid-run; fall back to
 					// keeping the allocation if the new packing needs
 					// more disks.
 					next = assign
@@ -216,7 +231,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 					// the new packing to maximize byte overlap with
 					// the old one so only genuinely re-placed files
 					// migrate.
-					next = relabelForOverlap(assign, next, tr.Files, farm)
+					next = relabelForOverlap(assign, next, tr.Files, farmSize)
 				}
 				estimates = rates
 			}

@@ -27,6 +27,12 @@ type Config struct {
 	NumDisks int
 	// DiskParams is the drive model (zero value → paper's Table 2).
 	DiskParams disk.Params
+	// PerDisk, when non-empty, gives each disk its own drive model
+	// (heterogeneous farms: fast spindles for hot data, eco drives for
+	// cold). Its length must equal NumDisks; DiskParams is ignored.
+	// With a BreakEven threshold each disk uses its own break-even
+	// time.
+	PerDisk []disk.Params
 	// IdleThreshold is the idleness threshold in seconds.
 	// Use disk.NeverSpinDown to disable spin-down (the paper's
 	// "no power-saving mechanism" baseline) or BreakEven to use the
@@ -65,10 +71,22 @@ func (c Config) normalized() (Config, error) {
 	if err := c.DiskParams.Validate(); err != nil {
 		return c, err
 	}
-	if c.IdleThreshold == BreakEven {
+	if len(c.PerDisk) > 0 {
+		if len(c.PerDisk) != c.NumDisks {
+			return c, fmt.Errorf("storage: PerDisk covers %d disks, NumDisks is %d", len(c.PerDisk), c.NumDisks)
+		}
+		for i, p := range c.PerDisk {
+			if err := p.Validate(); err != nil {
+				return c, fmt.Errorf("storage: disk %d: %w", i, err)
+			}
+		}
+	} else if c.IdleThreshold == BreakEven {
+		// Homogeneous farms resolve the sentinel once; heterogeneous
+		// farms resolve it per disk at construction time.
 		c.IdleThreshold = c.DiskParams.BreakEvenThreshold()
 	}
-	if c.PolicyFactory == nil && (c.IdleThreshold < 0 || math.IsNaN(c.IdleThreshold)) {
+	if c.PolicyFactory == nil && c.IdleThreshold != BreakEven &&
+		(c.IdleThreshold < 0 || math.IsNaN(c.IdleThreshold)) {
 		return c, fmt.Errorf("storage: invalid idleness threshold %v", c.IdleThreshold)
 	}
 	if c.NumDisks < 1 {
@@ -78,6 +96,14 @@ func (c Config) normalized() (Config, error) {
 		return c, fmt.Errorf("storage: negative cache size %d", c.CacheBytes)
 	}
 	return c, nil
+}
+
+// paramsFor returns disk i's drive model.
+func (c Config) paramsFor(i int) disk.Params {
+	if len(c.PerDisk) > 0 {
+		return c.PerDisk[i]
+	}
+	return c.DiskParams
 }
 
 // Results reports the outcome of a run.
@@ -148,10 +174,14 @@ func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
 	env := sim.NewEnv()
 	disks := make([]*disk.Disk, cfg.NumDisks)
 	for i := range disks {
-		if cfg.PolicyFactory != nil {
-			disks[i] = disk.NewWithPolicy(env, i, cfg.DiskParams, cfg.PolicyFactory(i))
-		} else {
-			disks[i] = disk.New(env, i, cfg.DiskParams, cfg.IdleThreshold)
+		p := cfg.paramsFor(i)
+		switch {
+		case cfg.PolicyFactory != nil:
+			disks[i] = disk.NewWithPolicy(env, i, p, cfg.PolicyFactory(i))
+		case cfg.IdleThreshold == BreakEven:
+			disks[i] = disk.New(env, i, p, p.BreakEvenThreshold())
+		default:
+			disks[i] = disk.New(env, i, p, cfg.IdleThreshold)
 		}
 	}
 	var lru *cache.LRU
@@ -165,7 +195,7 @@ func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
 	place := append([]int(nil), assign...)
 	freeBytes := make([]int64, cfg.NumDisks)
 	for d := range freeBytes {
-		freeBytes[d] = cfg.DiskParams.CapacityBytes
+		freeBytes[d] = cfg.paramsFor(d).CapacityBytes
 	}
 	for f, d := range place {
 		if d >= 0 {
@@ -284,7 +314,7 @@ func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
 		// either policy.
 		seek := b.Durations[disk.Seeking]
 		xfer := b.Durations[disk.Transferring]
-		p := cfg.DiskParams
+		p := cfg.paramsFor(i)
 		res.NoSavingEnergy += p.IdlePower*(horizon-seek-xfer) +
 			p.SeekPower*seek + p.ActivePower*xfer
 	}

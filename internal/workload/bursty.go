@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+// Bursty generates an ON/OFF (Markov-modulated Poisson) workload over a
+// Table 1-style file population: exponentially-distributed active
+// periods during which requests arrive at OnRate, separated by silent
+// gaps. Batch-analysis clusters and backup windows look like this in
+// practice, and the resulting heavy-tailed idle-gap distribution is the
+// adversarial input for fixed idleness thresholds — the gaps are either
+// far shorter or far longer than the break-even time, never near it.
+type Bursty struct {
+	NumFiles int     // population size
+	Theta    float64 // Zipf popularity parameter
+	MinSize  int64   // bytes
+	MaxSize  int64   // bytes
+	OnRate   float64 // requests per second during an ON period
+	MeanOn   float64 // mean ON-period length, seconds
+	MeanOff  float64 // mean OFF-period length, seconds
+	Duration float64 // seconds
+	Seed     int64
+}
+
+// DefaultBursty returns a population like the paper's Table 1 (scaled
+// sizes) driven by ON/OFF traffic whose long-run mean rate equals
+// meanRate: one-minute bursts separated by nine quiet minutes, so the
+// in-burst rate is 10× the mean.
+func DefaultBursty(meanRate float64, seed int64) Bursty {
+	const meanOn, meanOff = 60, 540
+	return Bursty{
+		NumFiles: 40000,
+		Theta:    DefaultTheta,
+		MinSize:  188 * disk.MB,
+		MaxSize:  20 * disk.GB,
+		OnRate:   meanRate * (meanOn + meanOff) / meanOn,
+		MeanOn:   meanOn,
+		MeanOff:  meanOff,
+		Duration: 4000,
+		Seed:     seed,
+	}
+}
+
+// MeanRate returns the long-run arrival rate OnRate·MeanOn/(MeanOn+MeanOff).
+func (c Bursty) MeanRate() float64 {
+	return c.OnRate * c.MeanOn / (c.MeanOn + c.MeanOff)
+}
+
+// Validate reports the first invalid parameter.
+func (c Bursty) Validate() error {
+	switch {
+	case c.NumFiles <= 0:
+		return fmt.Errorf("workload: bursty NumFiles %d", c.NumFiles)
+	case c.MinSize <= 0 || c.MaxSize < c.MinSize:
+		return fmt.Errorf("workload: bursty size range [%d,%d]", c.MinSize, c.MaxSize)
+	case c.OnRate <= 0:
+		return fmt.Errorf("workload: bursty ON rate %v", c.OnRate)
+	case c.MeanOn <= 0 || c.MeanOff < 0:
+		return fmt.Errorf("workload: bursty ON/OFF means %v/%v", c.MeanOn, c.MeanOff)
+	case c.Duration <= 0:
+		return fmt.Errorf("workload: bursty duration %v", c.Duration)
+	}
+	return nil
+}
+
+// Files returns the file population with rates set to the long-run
+// per-file arrival rate, which is what the packing algorithms should
+// plan for.
+func (c Bursty) Files() ([]trace.FileInfo, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	weights := ZipfWeights(c.NumFiles, c.Theta)
+	sizes := InverseZipfSizes(c.NumFiles, c.MinSize, c.MaxSize)
+	mean := c.MeanRate()
+	files := make([]trace.FileInfo, c.NumFiles)
+	for i := range files {
+		files[i] = trace.FileInfo{ID: i, Size: sizes[i], Rate: weights[i] * mean}
+	}
+	return files, nil
+}
+
+// Build generates the full trace: ON/OFF arrival instants, each request
+// drawing its file from the Zipf popularity distribution.
+func (c Bursty) Build() (*trace.Trace, error) {
+	files, err := c.Files()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	sampler := NewAlias(ZipfWeights(c.NumFiles, c.Theta))
+	times := OnOffArrivals(rng, c.OnRate, c.MeanOn, c.MeanOff, c.Duration)
+	reqs := make([]trace.Request, len(times))
+	for i, t := range times {
+		reqs[i] = trace.Request{Time: t, FileID: sampler.Sample(rng)}
+	}
+	tr := &trace.Trace{Files: files, Requests: reqs, Duration: c.Duration}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid bursty trace: %w", err)
+	}
+	return tr, nil
+}

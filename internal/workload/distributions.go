@@ -225,6 +225,78 @@ func PoissonArrivals(rng *rand.Rand, rate, duration float64) []float64 {
 	return times
 }
 
+// PoissonArrivalsHourly returns event times of a nonhomogeneous Poisson
+// process over [0, duration) whose intensity follows a daily-periodic
+// hourly profile (24 relative weights) around the given mean rate: the
+// profile is normalized so its average is 1, making the expected event
+// count identical to a homogeneous process at the same rate. Sampling is
+// by thinning against the peak intensity, which preserves the exact
+// Poisson law. An empty profile degenerates to PoissonArrivals.
+func PoissonArrivalsHourly(rng *rand.Rand, rate, duration float64, hourly []float64) []float64 {
+	if len(hourly) == 0 {
+		return PoissonArrivals(rng, rate, duration)
+	}
+	if len(hourly) != 24 {
+		panic(fmt.Sprintf("workload: hourly profile has %d entries, want 24", len(hourly)))
+	}
+	var sum, peak float64
+	for _, w := range hourly {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("workload: invalid hourly weight %v", w))
+		}
+		sum += w
+		if w > peak {
+			peak = w
+		}
+	}
+	if sum <= 0 {
+		panic("workload: hourly profile all zero")
+	}
+	mean := sum / 24
+	maxRate := rate * peak / mean
+	var times []float64
+	t := rng.ExpFloat64() / maxRate
+	for t < duration {
+		hour := int(math.Mod(t, 86400) / 3600)
+		if rng.Float64() < hourly[hour]/peak {
+			times = append(times, t)
+		}
+		t += rng.ExpFloat64() / maxRate
+	}
+	return times
+}
+
+// OnOffArrivals returns event times of a Markov-modulated (ON/OFF)
+// Poisson process: the source alternates exponentially-distributed ON
+// periods (mean meanOn seconds, arrivals at onRate) and silent OFF
+// periods (mean meanOff). The long-run mean rate is
+// onRate·meanOn/(meanOn+meanOff); the burstiness — long quiet gaps
+// punctuated by dense request trains — is what defeats fixed idleness
+// thresholds tuned for smooth traffic.
+func OnOffArrivals(rng *rand.Rand, onRate, meanOn, meanOff, duration float64) []float64 {
+	if onRate <= 0 || meanOn <= 0 || meanOff < 0 || duration <= 0 {
+		return nil
+	}
+	var times []float64
+	t := 0.0
+	for t < duration {
+		onEnd := t + rng.ExpFloat64()*meanOn
+		if onEnd > duration {
+			onEnd = duration
+		}
+		at := t + rng.ExpFloat64()/onRate
+		for at < onEnd {
+			times = append(times, at)
+			at += rng.ExpFloat64() / onRate
+		}
+		t = onEnd
+		if meanOff > 0 {
+			t += rng.ExpFloat64() * meanOff
+		}
+	}
+	return times
+}
+
 // UniformOrderedTimes returns exactly n sorted times uniform on
 // [0, duration) — the conditional distribution of a Poisson process
 // given its event count, used when a trace must reproduce an exact

@@ -18,7 +18,14 @@ type Synthetic struct {
 	MaxSize     int64   // bytes (paper: 20 GB)
 	ArrivalRate float64 // R, requests per second (paper: 1..12)
 	Duration    float64 // seconds (paper: 4,000)
-	Seed        int64
+	// Diurnal, when non-nil, modulates the Poisson arrivals with a
+	// daily-periodic hourly intensity profile (24 relative weights,
+	// normalized to preserve the mean rate R). The paper's Table 1
+	// workload is homogeneous; the diurnal variant models the
+	// day/night load swing of real data centers, whose quiet hours are
+	// where spin-down earns its keep.
+	Diurnal []float64
+	Seed    int64
 }
 
 // DefaultSynthetic returns the paper's Table 1 parameters with R left
@@ -46,6 +53,20 @@ func (c Synthetic) Validate() error {
 		return fmt.Errorf("workload: arrival rate %v", c.ArrivalRate)
 	case c.Duration <= 0:
 		return fmt.Errorf("workload: duration %v", c.Duration)
+	case c.Diurnal != nil && len(c.Diurnal) != 24:
+		return fmt.Errorf("workload: diurnal profile has %d entries, want 24", len(c.Diurnal))
+	}
+	if c.Diurnal != nil {
+		var sum float64
+		for _, w := range c.Diurnal {
+			if w < 0 || math.IsNaN(w) {
+				return fmt.Errorf("workload: invalid diurnal weight %v", w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("workload: diurnal profile all zero")
+		}
 	}
 	return nil
 }
@@ -76,7 +97,7 @@ func (c Synthetic) Build() (*trace.Trace, error) {
 	rng := rand.New(rand.NewSource(c.Seed))
 	weights := ZipfWeights(c.NumFiles, c.Theta)
 	sampler := NewAlias(weights)
-	times := PoissonArrivals(rng, c.ArrivalRate, c.Duration)
+	times := PoissonArrivalsHourly(rng, c.ArrivalRate, c.Duration, c.Diurnal)
 	reqs := make([]trace.Request, len(times))
 	for i, t := range times {
 		reqs[i] = trace.Request{Time: t, FileID: sampler.Sample(rng)}

@@ -1,0 +1,103 @@
+package diskpack
+
+import (
+	"diskpack/internal/farm"
+)
+
+// This file exports the declarative scenario engine (internal/farm):
+// describe a whole experiment point — farm layout, allocation strategy,
+// spin-down policy, workload, cache — as one FarmSpec and run it with
+// RunFarm, or run a catalogued scenario by name with RunScenario.
+
+// Scenario engine types (see internal/farm).
+type (
+	// FarmSpec declares one simulation scenario.
+	FarmSpec = farm.Spec
+	// FarmDiskGroup is a run of identical drives in a (possibly
+	// heterogeneous) farm.
+	FarmDiskGroup = farm.DiskGroup
+	// FarmWorkload selects the workload source of a spec.
+	FarmWorkload = farm.WorkloadSpec
+	// FarmAlloc selects the allocation strategy of a spec.
+	FarmAlloc = farm.AllocSpec
+	// FarmSpin selects the spin-down policy of a spec.
+	FarmSpin = farm.SpinSpec
+	// FarmMetrics is the unified result of one scenario run.
+	FarmMetrics = farm.Metrics
+	// FarmAllocation is the allocation-stage output of PlanFarm.
+	FarmAllocation = farm.Allocation
+	// FarmScenario is a named, documented spec in the catalogue.
+	FarmScenario = farm.Scenario
+	// FarmScenarioResult is the outcome of RunScenario.
+	FarmScenarioResult = farm.Result
+	// FarmSLOSweep turns a scenario into an operating-point search.
+	FarmSLOSweep = farm.SLOSweep
+)
+
+// Workload-source constructors.
+var (
+	// TraceWorkload replays a pre-built trace.
+	TraceWorkload = farm.TraceWorkload
+	// SyntheticFarmWorkload generates the paper's Table 1 workload
+	// (optionally diurnal via Synthetic.Diurnal).
+	SyntheticFarmWorkload = farm.SyntheticWorkload
+	// NERSCFarmWorkload synthesizes the Section 5.1 trace.
+	NERSCFarmWorkload = farm.NERSCWorkload
+	// BurstyFarmWorkload generates ON/OFF arrivals.
+	BurstyFarmWorkload = farm.BurstyWorkload
+)
+
+// Allocation kinds.
+const (
+	AllocPack               = farm.AllocPack
+	AllocPackV              = farm.AllocPackV
+	AllocRandom             = farm.AllocRandom
+	AllocFirstFit           = farm.AllocFirstFit
+	AllocFirstFitDecreasing = farm.AllocFirstFitDecreasing
+	AllocBestFit            = farm.AllocBestFit
+	AllocChangHwangPark     = farm.AllocChangHwangPark
+	AllocExplicit           = farm.AllocExplicit
+)
+
+// Spin-down policy kinds.
+const (
+	SpinBreakEven  = farm.SpinBreakEven
+	SpinFixed      = farm.SpinFixed
+	SpinNever      = farm.SpinNever
+	SpinImmediate  = farm.SpinImmediate
+	SpinAdaptive   = farm.SpinAdaptive
+	SpinRandomized = farm.SpinRandomized
+)
+
+// PackedAlloc returns the paper's default allocation (Pack_Disks) at
+// load constraint L.
+func PackedAlloc(capL float64) FarmAlloc { return farm.Packed(capL) }
+
+// ExplicitAlloc wraps a precomputed file→disk map.
+func ExplicitAlloc(assign []int) FarmAlloc { return farm.Explicit(assign) }
+
+// FixedSpinPolicy returns a constant-threshold spin-down spec.
+func FixedSpinPolicy(seconds float64) FarmSpin { return farm.FixedSpin(seconds) }
+
+// RunFarm compiles a spec into a simulation and executes it. It is a
+// pure function of (spec, seed): repeated calls return identical
+// metrics.
+func RunFarm(spec FarmSpec, seed int64) (*FarmMetrics, error) { return farm.Run(spec, seed) }
+
+// PlanFarm runs only the workload-synthesis and allocation stages of a
+// spec — no simulation. Use it to size a shared farm across a sweep
+// before the real runs.
+func PlanFarm(spec FarmSpec, seed int64) (*FarmAllocation, error) { return farm.Plan(spec, seed) }
+
+// RegisterScenario adds a scenario to the catalogue (panics on
+// duplicates or invalid specs — registration is init-time wiring).
+func RegisterScenario(sc FarmScenario) { farm.Register(sc) }
+
+// FarmScenarios lists the catalogue sorted by name.
+func FarmScenarios() []FarmScenario { return farm.Scenarios() }
+
+// RunScenario executes a catalogued scenario by name; sweeps run once
+// per threshold and select an operating point.
+func RunScenario(name string, seed int64) (*FarmScenarioResult, error) {
+	return farm.RunScenario(name, seed)
+}
