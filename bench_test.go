@@ -8,6 +8,7 @@
 package diskpack
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -253,6 +254,44 @@ func BenchmarkFarmRun(b *testing.B) {
 		saving = m.PowerSavingRatio
 	}
 	b.ReportMetric(saving, "saving")
+}
+
+// BenchmarkSweep times the parallel grid engine on the
+// threshold × farm-size fixture grid at several worker counts. The
+// workers=1 sub-benchmark is the serial baseline; the perf trajectory
+// tracks the speedup of the pooled runs over it (the grid's points are
+// independent simulations, so 4 workers should cut wall-clock by well
+// over 2×).
+func BenchmarkSweep(b *testing.B) {
+	wl := workload.DefaultSynthetic(4, 0)
+	wl.NumFiles = 1500
+	wl.MinSize /= 25
+	wl.MaxSize /= 25
+	sweep := farm.Sweep{
+		Name: "bench",
+		Base: farm.Spec{
+			Name:     "bench",
+			Workload: farm.SyntheticWorkload(wl),
+			Alloc:    farm.Packed(0.7),
+		},
+		Axes: []farm.Axis{
+			{Kind: farm.AxisSpinThreshold, Values: []float64{30, 120, 600, 1800}},
+			{Kind: farm.AxisFarmSize, Values: []float64{12, 16, 20, 24}},
+		},
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var saving float64
+			for i := 0; i < b.N; i++ {
+				res, err := farm.RunSweep(sweep, 1, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				saving = res.Points[0].Metrics.PowerSavingRatio
+			}
+			b.ReportMetric(saving, "saving@p0")
+		})
+	}
 }
 
 // packingInstance builds the skewed instance used by the complexity

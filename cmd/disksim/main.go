@@ -1,7 +1,8 @@
 // Command disksim runs disk-farm simulations through the scenario
-// engine (internal/farm): either a registered scenario by name, or an
-// ad-hoc run assembled from a trace file plus allocation, spin-down,
-// and cache flags.
+// engine (internal/farm): a registered scenario by name, an ad-hoc run
+// assembled from a trace file plus allocation, spin-down, and cache
+// flags, a JSON scenario file, or a parallel grid sweep over any of
+// those bases.
 //
 // Usage:
 //
@@ -11,6 +12,19 @@
 //	disksim -trace nersc.trace -algo pack -L 0.7 -threshold 1800
 //	disksim -trace synth.trace -algo random -disks 100 -threshold breakeven
 //	disksim -trace nersc.trace -assign out.map -disks 96 -cache 16e9
+//
+// Grid sweeps cross -sweep axes over the base spec (the scenario or the
+// ad-hoc flags) and fan the points across -workers goroutines:
+//
+//	disksim -trace nersc.trace -sweep threshold=60,300,1800 -select slo=25
+//	disksim -scenario paper-synth -sweep threshold=30,300 -sweep farm=20,40 -select pareto
+//	disksim -trace synth.trace -sweep L=0.5,0.6,0.7,0.8 -select knee
+//
+// Scenario files round-trip the same specs as JSON, so grids run
+// without recompiling:
+//
+//	disksim -trace nersc.trace -sweep threshold=60,1800 -spec-out grid.json
+//	disksim -spec grid.json -seed 7
 package main
 
 import (
@@ -19,13 +33,24 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
 	"diskpack/internal/trace"
 )
 
+// axisFlags collects repeated -sweep flags.
+type axisFlags []string
+
+func (a *axisFlags) String() string { return strings.Join(*a, "; ") }
+func (a *axisFlags) Set(s string) error {
+	*a = append(*a, s)
+	return nil
+}
+
 func main() {
+	var sweeps axisFlags
 	var (
 		scenario  = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
 		list      = flag.Bool("scenarios", false, "list registered scenarios and exit")
@@ -37,57 +62,162 @@ func main() {
 		threshold = flag.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', 'never', 'immediate', 'adaptive', or 'randomized'")
 		cacheB    = flag.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
 		seed      = flag.Int64("seed", 1, "seed for random placement and randomized policies")
+		workers   = flag.Int("workers", 0, "parallel sweep simulations (0 = GOMAXPROCS)")
+		selectS   = flag.String("select", "", "sweep operating-point rule: slo=SECONDS, knee, pareto (default none)")
+		specIn    = flag.String("spec", "", "run a JSON scenario file (a Spec or a Sweep; see -spec-out)")
+		specOut   = flag.String("spec-out", "", "write the assembled spec/sweep as JSON and exit")
 		verbose   = flag.Bool("v", false, "per-disk breakdown")
 	)
+	flag.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed)")
 	flag.Parse()
 
 	if *list {
 		listScenarios()
 		return
 	}
-	if *scenario != "" {
-		res, err := farm.RunScenario(*scenario, *seed)
+
+	axes := make([]farm.Axis, 0, len(sweeps))
+	for _, s := range sweeps {
+		ax, err := farm.ParseAxis(s)
 		if err != nil {
 			fatal(err)
 		}
-		printScenario(res, *verbose)
+		axes = append(axes, ax)
+	}
+	selector := farm.Selector{}
+	if *selectS != "" {
+		var err error
+		if selector, err = farm.ParseSelector(*selectS); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *specIn != "" {
+		if len(axes) > 0 || *selectS != "" || *specOut != "" {
+			fatal(fmt.Errorf("-sweep/-select/-spec-out cannot be combined with -spec (edit the file instead)"))
+		}
+		f, err := os.Open(*specIn)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := farm.DecodeFile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if doc.Sweep != nil {
+			runSweep(*doc.Sweep, *seed, *workers, *verbose)
+			return
+		}
+		m, err := farm.Run(*doc.Spec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printMetrics(m, "", doc.Spec.CacheBytes > 0, *verbose)
 		return
 	}
-	if *tracePath == "" {
-		fatal(fmt.Errorf("either -scenario or -trace is required (use -scenarios to list)"))
+
+	// Resolve the base spec: a registered scenario or the ad-hoc flags.
+	var base farm.Spec
+	switch {
+	case *scenario != "":
+		sc, ok := farm.Lookup(*scenario)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q (use -scenarios to list)", *scenario))
+		}
+		if len(axes) == 0 && *selectS == "" && *specOut == "" {
+			res, err := farm.RunScenario(*scenario, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			printScenario(res, *verbose)
+			return
+		}
+		base = sc.Spec
+		if sc.Sweep != nil {
+			// The scenario's own threshold search joins the grid: its
+			// axis comes first and its SLO rule applies unless -select
+			// overrides it.
+			grid := sc.Sweep.Grid(sc.Name, sc.Spec)
+			axes = append(grid.Axes, axes...)
+			if *selectS == "" {
+				selector = grid.Select
+			}
+		}
+	case *tracePath == "":
+		fatal(fmt.Errorf("one of -scenario, -trace, or -spec is required (use -scenarios to list)"))
+	default:
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		alloc, err := allocSpec(*assignIn, *algo, *capL, *farmN)
+		if err != nil {
+			fatal(err)
+		}
+		spin, err := spinSpec(*threshold)
+		if err != nil {
+			fatal(err)
+		}
+		base = farm.Spec{
+			Name:       "disksim",
+			Workload:   farm.TraceWorkload(tr),
+			Alloc:      alloc,
+			Spin:       spin,
+			FarmSize:   *farmN,
+			CacheBytes: int64(*cacheB),
+		}
 	}
 
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		fatal(err)
-	}
-	tr, err := trace.Read(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	if selector.Kind != farm.SelectNone && len(axes) == 0 {
+		fatal(fmt.Errorf("-select needs a grid: add at least one -sweep axis"))
 	}
 
-	alloc, err := allocSpec(*assignIn, *algo, *capL, *farmN)
-	if err != nil {
-		fatal(err)
+	if *specOut != "" {
+		doc := farm.File{}
+		if len(axes) > 0 {
+			doc.Sweep = &farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector}
+		} else {
+			doc.Spec = &base
+		}
+		f, err := os.Create(*specOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = farm.EncodeFile(f, doc)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *specOut)
+		return
 	}
-	spin, err := spinSpec(*threshold)
-	if err != nil {
-		fatal(err)
+
+	if len(axes) > 0 {
+		runSweep(farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector}, *seed, *workers, *verbose)
+		return
 	}
-	spec := farm.Spec{
-		Name:       "disksim",
-		Workload:   farm.TraceWorkload(tr),
-		Alloc:      alloc,
-		Spin:       spin,
-		FarmSize:   *farmN,
-		CacheBytes: int64(*cacheB),
-	}
-	m, err := farm.Run(spec, *seed)
+	m, err := farm.Run(base, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	printMetrics(m, *threshold, *cacheB > 0, *verbose)
+}
+
+// runSweep executes and prints an ad-hoc grid.
+func runSweep(sweep farm.Sweep, seed int64, workers int, verbose bool) {
+	res, err := farm.RunSweep(sweep, seed, workers)
+	if err != nil {
+		fatal(err)
+	}
+	printSweep(res, verbose)
 }
 
 func listScenarios() {
@@ -125,6 +255,87 @@ func printScenario(res *farm.Result, verbose bool) {
 	} else {
 		best := res.Runs[res.Best]
 		fmt.Printf("\noperating point: %s (%.1f W, p95 %.2f s)\n", res.Labels[res.Best], best.AvgPower, best.RespP95)
+	}
+}
+
+// printSweep renders a grid result: one row per point plus the
+// selector's verdict.
+func printSweep(res *farm.SweepResult, verbose bool) {
+	name := res.Sweep.Name
+	if name == "" {
+		name = "sweep"
+	}
+	fmt.Printf("sweep %s — %d points\n", name, len(res.Points))
+	if res.Sweep.PlanOnly {
+		printPlanSweep(res)
+		return
+	}
+	sel := res.Sweep.Select
+	switch sel.Kind {
+	case farm.SelectMinEnergySLO:
+		fmt.Printf("selector: min energy with p95 response <= %g s\n", sel.MaxP95)
+	case farm.SelectKnee:
+		fmt.Println("selector: knee of the energy/response curve")
+	case farm.SelectPareto:
+		fmt.Println("selector: pareto front of (energy, mean response)")
+	}
+	onFront := make(map[int]bool, len(res.Front))
+	for _, i := range res.Front {
+		onFront[i] = true
+	}
+	width := 24
+	for i := range res.Points {
+		if len(res.Points[i].Label) > width {
+			width = len(res.Points[i].Label)
+		}
+	}
+	fmt.Printf("\n%-*s %10s %10s %10s %10s %8s\n", width, "point", "power(W)", "saving", "p95(s)", "mean(s)", "")
+	for i := range res.Points {
+		m := res.Points[i].Metrics
+		mark := ""
+		switch {
+		case i == res.Best:
+			mark = "chosen"
+		case onFront[i]:
+			mark = "front"
+		case sel.Kind == farm.SelectMinEnergySLO && m.RespP95 <= sel.MaxP95:
+			mark = "ok"
+		}
+		fmt.Printf("%-*s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
+			width, res.Points[i].Label, m.AvgPower, m.PowerSavingRatio*100, m.RespP95, m.RespMean, mark)
+	}
+	switch {
+	case res.Best >= 0:
+		best := res.Points[res.Best]
+		fmt.Printf("\noperating point: %s (%.1f W, p95 %.2f s)\n", best.Label, best.Metrics.AvgPower, best.Metrics.RespP95)
+	case sel.Kind == farm.SelectMinEnergySLO:
+		fmt.Println("\nno point meets the SLO — add disks or relax the target")
+	case sel.Kind == farm.SelectPareto:
+		fmt.Printf("\npareto front: %d of %d points\n", len(res.Front), len(res.Points))
+	}
+	if verbose {
+		for i := range res.Points {
+			fmt.Printf("\n== %s ==\n", res.Points[i].Label)
+			printMetrics(res.Points[i].Metrics, "", res.Points[i].Spec.CacheBytes > 0, true)
+		}
+	}
+}
+
+// printPlanSweep renders a plan-only grid: allocation quality per
+// point, no simulation metrics and no operating point.
+func printPlanSweep(res *farm.SweepResult) {
+	fmt.Println("plan only: allocation stage, no simulation")
+	width := 24
+	for i := range res.Points {
+		if len(res.Points[i].Label) > width {
+			width = len(res.Points[i].Label)
+		}
+	}
+	fmt.Printf("\n%-*s %8s %10s %8s %10s\n", width, "point", "disks", "lower-bnd", "rho", "thm1-bnd")
+	for i := range res.Points {
+		a := res.Points[i].Alloc
+		fmt.Printf("%-*s %8d %10d %8.3f %10.2f\n",
+			width, res.Points[i].Label, a.DisksUsed, a.LowerBound, a.Rho, a.Bound)
 	}
 }
 

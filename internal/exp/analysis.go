@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"diskpack/internal/core"
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
 	"diskpack/internal/model"
@@ -27,21 +26,28 @@ func Analysis(opts Options) (*Table, error) {
 		return nil, err
 	}
 	Ls := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+	plan, err := packSweep("analysis-pack", tr, farm.Packed(0),
+		[]farm.Axis{{Kind: farm.AxisCapL, Values: Ls}}, opts)
+	if err != nil {
+		return nil, err
+	}
 	farmSize := opts.scaleCount(synthFarmBase, 4)
-	assigns := make([]*core.Assignment, len(Ls))
+	lLabels := make([]string, len(Ls))
 	for i, L := range Ls {
-		items, err := packItems(tr.Files, params, L)
-		if err != nil {
-			return nil, fmt.Errorf("L=%v: %w", L, err)
+		lLabels[i] = fmt.Sprintf("L=%g", L)
+		if used := plan.Points[i].Alloc.DisksUsed; used > farmSize {
+			farmSize = used
 		}
-		a, err := core.PackDisks(items)
-		if err != nil {
-			return nil, err
-		}
-		assigns[i] = a
-		if a.NumDisks > farmSize {
-			farmSize = a.NumDisks
-		}
+	}
+	threshold := params.BreakEvenThreshold()
+	sim, err := simSweep("analysis-sim", tr, farmSize, farm.FixedSpin(threshold),
+		[]farm.Axis{{Name: "L", Kind: farm.AxisCustom, Labels: lLabels,
+			Apply: func(s *farm.Spec, i int, _ []int) error {
+				s.Alloc = farm.Explicit(plan.Points[i].Alloc.Assign)
+				return nil
+			}}}, opts)
+	if err != nil {
+		return nil, err
 	}
 	table := &Table{
 		Name:    "analysis",
@@ -49,31 +55,19 @@ func Analysis(opts Options) (*Table, error) {
 		XLabel:  "L",
 		Columns: []string{"PredResp(s)", "SimResp(s)", "PredPower(W)", "SimPower(W)", "MaxRho"},
 	}
-	threshold := params.BreakEvenThreshold()
-	rows := make([][]float64, len(Ls))
-	err = parallelFor(len(Ls), opts.workers(), func(i int) error {
-		loads, err := model.AnalyzeAssignment(tr.Files, assigns[i].DiskOf, farmSize, params)
+	for i, L := range Ls {
+		loads, err := model.AnalyzeAssignment(tr.Files, plan.Points[i].Alloc.Assign, farmSize, params)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pred := model.PredictFarm(loads, params, threshold)
-		res, err := simulate(tr, assigns[i].DiskOf, farmSize,
-			farm.FixedSpin(threshold), 0, opts.Seed)
-		if err != nil {
-			return err
-		}
-		rows[i] = []float64{Ls[i],
-			pred.MeanResponse + pred.SpinPenalty, res.RespMean,
+		res := sim.Points[i].Metrics
+		table.AddRow(L,
+			pred.MeanResponse+pred.SpinPenalty, res.RespMean,
 			pred.AvgPower, res.AvgPower,
 			pred.MaxUtilization,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		)
 	}
-	table.Rows = rows
-	table.SortByX()
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("farm %d disks; threshold %.1f s; prediction is mean-value (independent M/G/1 disks + renewal gap model)", farmSize, threshold))
 	return table, nil

@@ -16,24 +16,25 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"diskpack/internal/farm"
 	"diskpack/internal/trace"
 )
 
-// simulate routes one pre-allocated simulation point through the farm
-// engine — the single simulation entry every experiment shares. The
-// trace and assignment are fixed inputs, so the seed only matters for
-// seeded spin policies (farm.SpinRandomized).
-func simulate(tr *trace.Trace, assign []int, farmSize int, spin farm.SpinSpec, cacheBytes int64, seed int64) (*farm.Metrics, error) {
-	return farm.Run(farm.Spec{
-		Workload:   farm.TraceWorkload(tr),
-		Alloc:      farm.Explicit(assign),
-		FarmSize:   farmSize,
-		Spin:       spin,
-		CacheBytes: cacheBytes,
-	}, seed)
+// simSweep runs a simulation grid through the farm engine's parallel
+// sweep — the single entry every experiment's table shares. The base
+// replays a fixed trace on a fixed farm; axes supply the varied
+// dimensions (allocation, spin policy, cache).
+func simSweep(name string, tr *trace.Trace, farmSize int, spin farm.SpinSpec, axes []farm.Axis, opts Options) (*farm.SweepResult, error) {
+	return farm.RunSweep(farm.Sweep{
+		Name: name,
+		Base: farm.Spec{
+			Workload: farm.TraceWorkload(tr),
+			FarmSize: farmSize,
+			Spin:     spin,
+		},
+		Axes: axes,
+	}, opts.Seed, opts.workers())
 }
 
 // Options configures an experiment run.
@@ -205,54 +206,15 @@ func formatCell(v float64) string {
 	}
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
-// and returns the first error.
-func parallelFor(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	grab := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := grab()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+// packSweep packs a fixed trace's files across a parallel plan-only
+// grid — allocation axes only, no simulation. Every experiment that
+// pre-computes assignments (to share one farm size across a figure's
+// series) goes through here.
+func packSweep(name string, tr *trace.Trace, base farm.AllocSpec, axes []farm.Axis, opts Options) (*farm.SweepResult, error) {
+	return farm.RunSweep(farm.Sweep{
+		Name:     name,
+		Base:     farm.Spec{Workload: farm.TraceWorkload(tr), Alloc: base},
+		Axes:     axes,
+		PlanOnly: true,
+	}, opts.Seed, opts.workers())
 }

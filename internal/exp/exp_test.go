@@ -58,37 +58,6 @@ func TestTableAddRowArityPanics(t *testing.T) {
 	tab.AddRow(1, 2)
 }
 
-func TestParallelFor(t *testing.T) {
-	n := 100
-	seen := make([]bool, n)
-	if err := parallelFor(n, 8, func(i int) error { seen[i] = true; return nil }); err != nil {
-		t.Fatal(err)
-	}
-	for i, s := range seen {
-		if !s {
-			t.Fatalf("index %d not visited", i)
-		}
-	}
-}
-
-func TestParallelForError(t *testing.T) {
-	err := parallelFor(50, 4, func(i int) error {
-		if i == 10 {
-			return errTest
-		}
-		return nil
-	})
-	if err != errTest {
-		t.Fatalf("err=%v want errTest", err)
-	}
-}
-
-var errTest = &testError{}
-
-type testError struct{}
-
-func (*testError) Error() string { return "test error" }
-
 // TestFig2Shape asserts the paper's Figure 2 conclusions: the
 // power-saving ratio of Pack_Disks over random placement decreases
 // with the arrival rate, exceeds 60% at low R, and is ordered by the

@@ -37,9 +37,8 @@ func scaledSynthetic(opts Options, arrivalRate float64, seedOff int64) workload.
 	return cfg
 }
 
-// packSynthetic builds packing items from a synthetic population using
-// capL as the load constraint (fraction of the disk's service
-// capability) and returns the PackDisks assignment.
+// packItems builds packing items from a file population using capL as
+// the load constraint (fraction of the disk's service capability).
 func packItems(files []trace.FileInfo, params disk.Params, capL float64) ([]core.Item, error) {
 	sizes := make([]int64, len(files))
 	rates := make([]float64, len(files))
@@ -50,19 +49,14 @@ func packItems(files []trace.FileInfo, params disk.Params, capL float64) ([]core
 	return core.BuildItems(sizes, rates, params.ServiceTime, params.CapacityBytes, capL)
 }
 
-// fig23Point holds one (R, L) measurement.
-type fig23Point struct {
-	r      float64
-	lIdx   int
-	saving float64 // 1 - E_pack/E_rnd
-	ratio  float64 // resp_pack / resp_rnd
-}
-
 // Fig23 runs the Figures 2 and 3 sweep: Pack_Disks versus random
 // placement on the Table 1 workload, arrival rate R = 1..12, load
 // constraint L ∈ {50, 60, 70, 80}%. Figure 2 reports the power-saving
 // ratio relative to random placement; Figure 3 the response-time
-// ratio.
+// ratio. Both the packing grid and the simulation grid fan through
+// farm.Sweep: first a plan-only (R, L) sweep computes the Pack_Disks
+// assignments, then an (R, series) sweep simulates random placement
+// alongside each L.
 func Fig23(opts Options) (fig2, fig3 *Table, err error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
@@ -72,83 +66,100 @@ func Fig23(opts Options) (fig2, fig3 *Table, err error) {
 	Rs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
 	farmBase := opts.scaleCount(synthFarmBase, 4)
 
-	cols := []string{"L=50%", "L=60%", "L=70%", "L=80%"}
-	fig2 = &Table{Name: "fig2", Title: "Power-saving ratio of Pack_Disks vs random placement", XLabel: "R", Columns: cols}
-	fig3 = &Table{Name: "fig3", Title: "Response-time ratio Pack_Disks / random placement", XLabel: "R", Columns: cols}
-
-	points := make([]fig23Point, len(Rs)*len(Ls))
-	err = parallelFor(len(Rs), opts.workers(), func(ri int) error {
-		R := Rs[ri]
+	// One workload draw per R (seeded per R, the paper's convention of
+	// independent columns).
+	trs := make([]*trace.Trace, len(Rs))
+	rLabels := make([]string, len(Rs))
+	for ri, R := range Rs {
+		rLabels[ri] = fmt.Sprintf("R=%g", R)
 		cfg := scaledSynthetic(opts, R, int64(ri))
-		tr, err := cfg.Build()
-		if err != nil {
-			return err
+		if trs[ri], err = cfg.Build(); err != nil {
+			return nil, nil, err
 		}
-		// Pack once per L; all runs share the largest farm so energy
-		// totals are comparable.
-		assigns := make([]*core.Assignment, len(Ls))
-		farmSize := farmBase
-		for li, L := range Ls {
-			items, err := packItems(tr.Files, params, L)
-			if err != nil {
-				return fmt.Errorf("R=%v L=%v: %w", R, L, err)
-			}
-			a, err := core.PackDisks(items)
-			if err != nil {
-				return err
-			}
-			assigns[li] = a
-			if a.NumDisks > farmSize {
-				farmSize = a.NumDisks
-			}
-		}
-		rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(ri)))
-		items, err := packItems(tr.Files, params, Ls[len(Ls)-1])
-		if err != nil {
-			return err
-		}
-		rndAssign, err := core.RandomAssign(items, farmSize, rng)
-		if err != nil {
-			return err
-		}
-		breakEven := farm.SpinSpec{Kind: farm.SpinBreakEven}
-		rnd, err := simulate(tr, rndAssign.DiskOf, farmSize, breakEven, 0, opts.Seed)
-		if err != nil {
-			return err
-		}
-		for li := range Ls {
-			pack, err := simulate(tr, assigns[li].DiskOf, farmSize, breakEven, 0, opts.Seed)
-			if err != nil {
-				return err
-			}
-			pt := &points[ri*len(Ls)+li]
-			pt.r = R
-			pt.lIdx = li
-			if rnd.Energy > 0 {
-				pt.saving = 1 - pack.Energy/rnd.Energy
-			}
-			if rnd.RespMean > 0 {
-				pt.ratio = pack.RespMean / rnd.RespMean
-			}
-		}
-		return nil
-	})
+	}
+
+	// Pack every (R, L) point in parallel.
+	rAxis := farm.Axis{Name: "R", Kind: farm.AxisCustom, Labels: rLabels,
+		Apply: func(s *farm.Spec, i int, _ []int) error {
+			s.Workload = farm.TraceWorkload(trs[i])
+			return nil
+		}}
+	plan, err := packSweep("fig23-pack", nil, farm.Packed(0), []farm.Axis{
+		rAxis,
+		{Kind: farm.AxisCapL, Values: Ls},
+	}, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	// Per R: all runs share the largest farm so energy totals are
+	// comparable, and random placement draws with the legacy seeding.
+	farmSizes := make([]int, len(Rs))
+	rndAssigns := make([][]int, len(Rs))
+	for ri := range Rs {
+		farmSize := farmBase
+		for li := range Ls {
+			if used := plan.At(ri, li).Alloc.DisksUsed; used > farmSize {
+				farmSize = used
+			}
+		}
+		farmSizes[ri] = farmSize
+		rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(ri)))
+		items, err := packItems(trs[ri].Files, params, Ls[len(Ls)-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		rnd, err := core.RandomAssign(items, farmSize, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		rndAssigns[ri] = rnd.DiskOf
+	}
+
+	// Simulate the full (R, series) grid: series 0 is random placement,
+	// series 1.. are the Pack_Disks packings per L.
+	cols := []string{"L=50%", "L=60%", "L=70%", "L=80%"}
+	series := append([]string{"RND"}, cols...)
+	simRAxis := rAxis
+	simRAxis.Apply = func(s *farm.Spec, i int, _ []int) error {
+		s.Workload = farm.TraceWorkload(trs[i])
+		s.FarmSize = farmSizes[i]
+		return nil
+	}
+	sim, err := simSweep("fig23-sim", nil, 0, farm.SpinSpec{Kind: farm.SpinBreakEven}, []farm.Axis{
+		simRAxis,
+		{Name: "series", Kind: farm.AxisCustom, Labels: series,
+			Apply: func(s *farm.Spec, i int, coord []int) error {
+				if i == 0 {
+					s.Alloc = farm.Explicit(rndAssigns[coord[0]])
+				} else {
+					s.Alloc = farm.Explicit(plan.At(coord[0], i-1).Alloc.Assign)
+				}
+				return nil
+			}},
+	}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fig2 = &Table{Name: "fig2", Title: "Power-saving ratio of Pack_Disks vs random placement", XLabel: "R", Columns: cols}
+	fig3 = &Table{Name: "fig3", Title: "Response-time ratio Pack_Disks / random placement", XLabel: "R", Columns: cols}
 	for ri, R := range Rs {
+		rnd := sim.At(ri, 0).Metrics
 		savings := make([]float64, len(Ls))
 		ratios := make([]float64, len(Ls))
 		for li := range Ls {
-			pt := points[ri*len(Ls)+li]
-			savings[li] = pt.saving
-			ratios[li] = pt.ratio
+			pack := sim.At(ri, li+1).Metrics
+			if rnd.Energy > 0 {
+				savings[li] = 1 - pack.Energy/rnd.Energy
+			}
+			if rnd.RespMean > 0 {
+				ratios[li] = pack.RespMean / rnd.RespMean
+			}
 		}
 		fig2.AddRow(R, savings...)
 		fig3.AddRow(R, ratios...)
 	}
-	fig2.SortByX()
-	fig3.SortByX()
 	return fig2, fig3, nil
 }
 
@@ -160,7 +171,6 @@ func Fig4(opts Options) (*Table, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	params := disk.DefaultParams()
 	Ls := []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}
 	const R = 6
 	farmBase := opts.scaleCount(synthFarmBase, 4)
@@ -170,22 +180,29 @@ func Fig4(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One farm size across all L so wattages are comparable.
-	assigns := make([]*core.Assignment, len(Ls))
+	// Pack each L in parallel; one farm size across all L so wattages
+	// are comparable.
+	plan, err := packSweep("fig4-pack", tr, farm.Packed(0),
+		[]farm.Axis{{Kind: farm.AxisCapL, Values: Ls}}, opts)
+	if err != nil {
+		return nil, err
+	}
 	farmSize := farmBase
+	lLabels := make([]string, len(Ls))
 	for li, L := range Ls {
-		items, err := packItems(tr.Files, params, L)
-		if err != nil {
-			return nil, fmt.Errorf("L=%v: %w", L, err)
+		lLabels[li] = fmt.Sprintf("L=%g", L)
+		if used := plan.Points[li].Alloc.DisksUsed; used > farmSize {
+			farmSize = used
 		}
-		a, err := core.PackDisks(items)
-		if err != nil {
-			return nil, err
-		}
-		assigns[li] = a
-		if a.NumDisks > farmSize {
-			farmSize = a.NumDisks
-		}
+	}
+	sim, err := simSweep("fig4-sim", tr, farmSize, farm.SpinSpec{Kind: farm.SpinBreakEven},
+		[]farm.Axis{{Name: "L", Kind: farm.AxisCustom, Labels: lLabels,
+			Apply: func(s *farm.Spec, i int, _ []int) error {
+				s.Alloc = farm.Explicit(plan.Points[i].Alloc.Assign)
+				return nil
+			}}}, opts)
+	if err != nil {
+		return nil, err
 	}
 	table := &Table{
 		Name:    "fig4",
@@ -193,23 +210,10 @@ func Fig4(opts Options) (*Table, error) {
 		XLabel:  "L",
 		Columns: []string{"Power(W)", "RespTime(s)", "DisksUsed"},
 	}
-	rows := make([][]float64, len(Ls))
-	err = parallelFor(len(Ls), opts.workers(), func(li int) error {
-		res, err := simulate(tr, assigns[li].DiskOf, farmSize,
-			farm.SpinSpec{Kind: farm.SpinBreakEven}, 0, opts.Seed)
-		if err != nil {
-			return err
-		}
-		rows[li] = []float64{Ls[li], res.AvgPower, res.RespMean, float64(assigns[li].NumDisks)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	for li, L := range Ls {
+		res := sim.Points[li].Metrics
+		table.AddRow(L, res.AvgPower, res.RespMean, float64(plan.Points[li].Alloc.DisksUsed))
 	}
-	for _, r := range rows {
-		table.Rows = append(table.Rows, r)
-	}
-	table.SortByX()
 	table.Notes = append(table.Notes, fmt.Sprintf("farm size %d disks, %d files, R=%d/s", farmSize, cfg.NumFiles, R))
 	return table, nil
 }

@@ -92,7 +92,10 @@ var fig56SeriesList = []fig56Series{
 // power saving (normalized against the farm spinning with no
 // power-saving mechanism) and mean response time, as the idleness
 // threshold varies from 0.05 h to 2 h, for the five series RND,
-// Pack_Disk, Pack_Disk4, RND+LRU, and Pack_Disk4+LRU.
+// Pack_Disk, Pack_Disk4, RND+LRU, and Pack_Disk4+LRU. The
+// (threshold × series) grid is one farm.Sweep: a declarative
+// spin-threshold axis crossed with a custom series axis that swaps the
+// allocation and the front cache.
 func Fig56(opts Options) (fig5, fig6 *Table, err error) {
 	if err := opts.Validate(); err != nil {
 		return nil, nil, err
@@ -102,42 +105,42 @@ func Fig56(opts Options) (fig5, fig6 *Table, err error) {
 		return nil, nil, err
 	}
 	cols := make([]string, len(fig56SeriesList))
+	thresholds := make([]float64, len(fig56Thresholds))
 	for i, s := range fig56SeriesList {
 		cols[i] = s.name
 	}
-	fig5 = &Table{Name: "fig5", Title: "Power saving vs idleness threshold (NERSC workload)", XLabel: "Threshold(h)", Columns: cols}
-	fig6 = &Table{Name: "fig6", Title: "Mean response time (s) vs idleness threshold (NERSC workload)", XLabel: "Threshold(h)", Columns: cols}
-
-	type cell struct{ saving, resp, hitRatio float64 }
-	cells := make([]cell, len(fig56Thresholds)*len(fig56SeriesList))
-	err = parallelFor(len(cells), opts.workers(), func(k int) error {
-		ti := k / len(fig56SeriesList)
-		si := k % len(fig56SeriesList)
-		series := fig56SeriesList[si]
-		res, err := simulate(setup.tr, series.assign(setup), setup.farmSize,
-			farm.FixedSpin(fig56Thresholds[ti]*3600), series.cache, opts.Seed)
-		if err != nil {
-			return fmt.Errorf("%s @ %vh: %w", series.name, fig56Thresholds[ti], err)
-		}
-		cells[k] = cell{saving: res.PowerSavingRatio, resp: res.RespMean, hitRatio: res.CacheHitRatio}
-		return nil
-	})
+	for i, h := range fig56Thresholds {
+		thresholds[i] = h * 3600
+	}
+	sim, err := simSweep("fig56", setup.tr, setup.farmSize, farm.SpinSpec{Kind: farm.SpinBreakEven},
+		[]farm.Axis{
+			{Kind: farm.AxisSpinThreshold, Values: thresholds},
+			{Name: "series", Kind: farm.AxisCustom, Labels: cols,
+				Apply: func(s *farm.Spec, i int, _ []int) error {
+					s.Alloc = farm.Explicit(fig56SeriesList[i].assign(setup))
+					s.CacheBytes = fig56SeriesList[i].cache
+					return nil
+				}},
+		}, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	fig5 = &Table{Name: "fig5", Title: "Power saving vs idleness threshold (NERSC workload)", XLabel: "Threshold(h)", Columns: cols}
+	fig6 = &Table{Name: "fig6", Title: "Mean response time (s) vs idleness threshold (NERSC workload)", XLabel: "Threshold(h)", Columns: cols}
 	for ti, th := range fig56Thresholds {
 		savings := make([]float64, len(fig56SeriesList))
 		resps := make([]float64, len(fig56SeriesList))
 		for si := range fig56SeriesList {
-			c := cells[ti*len(fig56SeriesList)+si]
-			savings[si] = c.saving
-			resps[si] = c.resp
+			m := sim.At(ti, si).Metrics
+			savings[si] = m.PowerSavingRatio
+			resps[si] = m.RespMean
 		}
 		fig5.AddRow(th, savings...)
 		fig6.AddRow(th, resps...)
 	}
 	note := fmt.Sprintf("farm %d disks; %d files, %d requests", setup.farmSize, len(setup.tr.Files), len(setup.tr.Requests))
-	if hr := cells[len(fig56SeriesList)-1].hitRatio; hr > 0 {
+	if hr := sim.At(0, len(fig56SeriesList)-1).Metrics.CacheHitRatio; hr > 0 {
 		note += fmt.Sprintf("; LRU hit ratio %.1f%% (paper: 5.6%%)", hr*100)
 	}
 	fig5.Notes = append(fig5.Notes, note)
@@ -148,7 +151,9 @@ func Fig56(opts Options) (fig5, fig6 *Table, err error) {
 // VSweep runs the Section 5.1 group-size ablation: Pack_Disk_v for
 // v = 1..8 at a 0.5 h idleness threshold on the NERSC workload. The
 // paper reports v = 4 as the sweet spot: larger groups no longer
-// improve response time but dilute the power saving.
+// improve response time but dilute the power saving. The packings come
+// from a plan-only AxisPackV sweep; the simulations from a second
+// sweep sharing one farm size so the savings are comparable.
 func VSweep(opts Options) (*Table, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -157,23 +162,29 @@ func VSweep(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := disk.DefaultParams()
-	items, err := packItems(setup.tr.Files, params, nerscCapL)
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	plan, err := packSweep("vsweep-pack", setup.tr,
+		farm.AllocSpec{Kind: farm.AllocPackV, CapL: nerscCapL},
+		[]farm.Axis{{Kind: farm.AxisPackV, Values: vs}}, opts)
 	if err != nil {
 		return nil, err
 	}
-	vs := []int{1, 2, 3, 4, 5, 6, 7, 8}
-	assigns := make([]*core.Assignment, len(vs))
 	farmSize := setup.farmSize
+	vLabels := make([]string, len(vs))
 	for i, v := range vs {
-		a, err := core.PackDisksV(items, v)
-		if err != nil {
-			return nil, err
+		vLabels[i] = fmt.Sprintf("v=%g", v)
+		if used := plan.Points[i].Alloc.DisksUsed; used > farmSize {
+			farmSize = used
 		}
-		assigns[i] = a
-		if a.NumDisks > farmSize {
-			farmSize = a.NumDisks
-		}
+	}
+	sim, err := simSweep("vsweep-sim", setup.tr, farmSize, farm.FixedSpin(0.5*3600),
+		[]farm.Axis{{Name: "v", Kind: farm.AxisCustom, Labels: vLabels,
+			Apply: func(s *farm.Spec, i int, _ []int) error {
+				s.Alloc = farm.Explicit(plan.Points[i].Alloc.Assign)
+				return nil
+			}}}, opts)
+	if err != nil {
+		return nil, err
 	}
 	table := &Table{
 		Name:    "vsweep",
@@ -181,20 +192,9 @@ func VSweep(opts Options) (*Table, error) {
 		XLabel:  "v",
 		Columns: []string{"PowerSaving", "RespTime(s)", "DisksUsed"},
 	}
-	rows := make([][]float64, len(vs))
-	err = parallelFor(len(vs), opts.workers(), func(i int) error {
-		res, err := simulate(setup.tr, assigns[i].DiskOf, farmSize,
-			farm.FixedSpin(0.5*3600), 0, opts.Seed)
-		if err != nil {
-			return err
-		}
-		rows[i] = []float64{float64(vs[i]), res.PowerSavingRatio, res.RespMean, float64(assigns[i].NumDisks)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	for i, v := range vs {
+		res := sim.Points[i].Metrics
+		table.AddRow(v, res.PowerSavingRatio, res.RespMean, float64(plan.Points[i].Alloc.DisksUsed))
 	}
-	table.Rows = rows
-	table.SortByX()
 	return table, nil
 }

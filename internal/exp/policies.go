@@ -33,6 +33,33 @@ func Policies(opts Options) (*Table, error) {
 		{"adaptive", farm.SpinSpec{Kind: farm.SpinAdaptive}},
 		{"randomized", farm.SpinSpec{Kind: farm.SpinRandomized}},
 	}
+	polLabels := make([]string, len(pols))
+	for pi, p := range pols {
+		polLabels[pi] = p.name
+	}
+	// (policy × placement) grid: the policy axis steps the seed so each
+	// policy gets an independent draw for its seeded variants, while
+	// both placements of one policy share it.
+	sim, err := simSweep("policies", setup.tr, setup.farmSize, farm.SpinSpec{Kind: farm.SpinBreakEven},
+		[]farm.Axis{
+			{Name: "policy", Kind: farm.AxisCustom, Labels: polLabels, SeedStep: 1,
+				Apply: func(s *farm.Spec, i int, _ []int) error {
+					s.Spin = pols[i].spin
+					return nil
+				}},
+			{Name: "placement", Kind: farm.AxisCustom, Labels: []string{"Pack", "RND"},
+				Apply: func(s *farm.Spec, i int, _ []int) error {
+					if i == 0 {
+						s.Alloc = farm.Explicit(setup.pack1)
+					} else {
+						s.Alloc = farm.Explicit(setup.rnd)
+					}
+					return nil
+				}},
+		}, opts)
+	if err != nil {
+		return nil, err
+	}
 	table := &Table{
 		Name:   "policies",
 		Title:  "Spin-down policy ablation on the NERSC workload (extension of Fig. 5)",
@@ -42,35 +69,17 @@ func Policies(opts Options) (*Table, error) {
 			"RND:saving", "RND:resp(s)", "RND:spinups",
 		},
 	}
-	rows := make([][]float64, len(pols))
-	for pi := range rows {
-		rows[pi] = make([]float64, 7)
-		rows[pi][0] = float64(pi)
-	}
-	err = parallelFor(len(pols)*2, opts.workers(), func(k int) error {
-		pi, packSide := k/2, k%2 == 0
-		assign := setup.rnd
-		if packSide {
-			assign = setup.pack1
+	for pi := range pols {
+		row := make([]float64, 7)
+		row[0] = float64(pi)
+		for side := 0; side < 2; side++ {
+			res := sim.At(pi, side).Metrics
+			off := 1 + 3*side
+			row[off] = res.PowerSavingRatio
+			row[off+1] = res.RespMean
+			row[off+2] = float64(res.SpinUps)
 		}
-		res, err := simulate(setup.tr, assign, setup.farmSize, pols[pi].spin, 0, opts.Seed+int64(pi))
-		if err != nil {
-			return fmt.Errorf("policy %s: %w", pols[pi].name, err)
-		}
-		off := 4
-		if packSide {
-			off = 1
-		}
-		rows[pi][off] = res.PowerSavingRatio
-		rows[pi][off+1] = res.RespMean
-		rows[pi][off+2] = float64(res.SpinUps)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for pi, r := range rows {
-		table.Rows = append(table.Rows, r)
+		table.Rows = append(table.Rows, row)
 		table.Notes = append(table.Notes, fmt.Sprintf("policy %d = %s", pi, pols[pi].name))
 	}
 	return table, nil

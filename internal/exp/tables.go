@@ -7,6 +7,8 @@ import (
 
 	"diskpack/internal/core"
 	"diskpack/internal/disk"
+	"diskpack/internal/farm"
+	"diskpack/internal/trace"
 	"diskpack/internal/workload"
 )
 
@@ -87,67 +89,56 @@ func Table2(opts Options) (*Table, error) {
 // several load constraints: disks used by Pack_Disks, Pack_Disks_4,
 // Chang–Hwang–Park, first-fit decreasing, first-fit, best-fit, and the
 // lower bound. It substantiates the paper's claim that Pack_Disks
-// packs within the Theorem 1 bound of optimal.
+// packs within the Theorem 1 bound of optimal. The whole
+// (L × allocator) grid is one plan-only farm.Sweep — no simulation,
+// just parallel packing.
 func PackQuality(opts Options) (*Table, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	params := disk.DefaultParams()
 	cfg := scaledSynthetic(opts, 6, 0)
 	files, err := cfg.Files()
 	if err != nil {
 		return nil, err
 	}
+	tr := &trace.Trace{Files: files, Duration: cfg.Duration}
 	Ls := []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	allocs := []farm.AllocKind{
+		farm.AllocPack, farm.AllocPackV, farm.AllocChangHwangPark,
+		farm.AllocFirstFitDecreasing, farm.AllocFirstFit, farm.AllocBestFit,
+	}
+	allocValues := make([]float64, len(allocs))
+	for i, k := range allocs {
+		allocValues[i] = float64(k)
+	}
+	plan, err := packSweep("packquality", tr,
+		farm.AllocSpec{Kind: farm.AllocPack, V: 4},
+		[]farm.Axis{
+			{Kind: farm.AxisCapL, Values: Ls},
+			{Kind: farm.AxisAllocKind, Values: allocValues},
+		}, opts)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Name:    "packquality",
 		Title:   "Disks used by each allocator vs load constraint (Table 1 workload)",
 		XLabel:  "L",
 		Columns: []string{"LowerBound", "Pack_Disks", "Pack_Disks4", "ChangHwangPark", "FFD", "FirstFit", "BestFit", "Thm1Bound"},
 	}
-	rows := make([][]float64, len(Ls))
-	err = parallelFor(len(Ls), opts.workers(), func(i int) error {
-		items, err := packItems(files, params, Ls[i])
-		if err != nil {
-			return err
-		}
-		pd, err := core.PackDisks(items)
-		if err != nil {
-			return err
-		}
-		pd4, err := core.PackDisksV(items, 4)
-		if err != nil {
-			return err
-		}
-		chp, err := core.ChangHwangPark(items)
-		if err != nil {
-			return err
-		}
-		ffd, err := core.FirstFitDecreasing(items)
-		if err != nil {
-			return err
-		}
-		ff, err := core.FirstFit(items)
-		if err != nil {
-			return err
-		}
-		bf, err := core.BestFit(items)
-		if err != nil {
-			return err
-		}
-		rows[i] = []float64{Ls[i],
-			float64(core.LowerBoundDisks(items)),
-			float64(pd.NumDisks), float64(pd4.NumDisks), float64(chp.NumDisks),
-			float64(ffd.NumDisks), float64(ff.NumDisks), float64(bf.NumDisks),
-			core.ApproxBound(items),
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	for li, L := range Ls {
+		pack := plan.At(li, 0).Alloc
+		t.AddRow(L,
+			float64(pack.LowerBound),
+			float64(pack.DisksUsed),
+			float64(plan.At(li, 1).Alloc.DisksUsed),
+			float64(plan.At(li, 2).Alloc.DisksUsed),
+			float64(plan.At(li, 3).Alloc.DisksUsed),
+			float64(plan.At(li, 4).Alloc.DisksUsed),
+			float64(plan.At(li, 5).Alloc.DisksUsed),
+			pack.Bound,
+		)
 	}
-	t.Rows = rows
-	t.SortByX()
 	return t, nil
 }
 

@@ -1,0 +1,172 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scenario persistence: a Spec or a Sweep serialized as JSON, so
+// scenarios run without recompiling (cmd/disksim -spec file.json). The
+// enum kinds marshal as their String() names — "pack", "breakeven",
+// "threshold" — so files stay readable and diffable. Custom axes carry
+// Go functions and are rejected by Encode/Decode.
+
+// File is the on-disk scenario document: exactly one of Spec or Sweep.
+type File struct {
+	Spec  *Spec  `json:",omitempty"`
+	Sweep *Sweep `json:",omitempty"`
+}
+
+// Validate checks the one-of constraint and the payload.
+func (f File) Validate() error {
+	switch {
+	case f.Spec == nil && f.Sweep == nil:
+		return fmt.Errorf("farm: spec file declares neither a Spec nor a Sweep")
+	case f.Spec != nil && f.Sweep != nil:
+		return fmt.Errorf("farm: spec file declares both a Spec and a Sweep")
+	case f.Spec != nil:
+		return f.Spec.Validate()
+	default:
+		for _, a := range f.Sweep.Axes {
+			if a.Kind == AxisCustom {
+				return fmt.Errorf("farm: custom axes cannot be serialized")
+			}
+		}
+		return f.Sweep.Validate()
+	}
+}
+
+// EncodeFile writes the document as indented JSON.
+func EncodeFile(w io.Writer, f File) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// DecodeFile reads and validates a scenario document.
+func DecodeFile(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("farm: decoding spec file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// enumFromText implements name-based text unmarshalling shared by the
+// kind enums below.
+func enumFromText[K any](text []byte, what string, lookup func(string) (K, bool)) (K, error) {
+	k, ok := lookup(string(text))
+	if !ok {
+		var zero K
+		return zero, fmt.Errorf("farm: unknown %s %q", what, text)
+	}
+	return k, nil
+}
+
+// MarshalText renders the kind as its String() name.
+func (k WorkloadKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a WorkloadKind name.
+func (k *WorkloadKind) UnmarshalText(text []byte) error {
+	v, err := enumFromText(text, "workload kind", func(s string) (WorkloadKind, bool) {
+		for _, c := range []WorkloadKind{WorkloadTrace, WorkloadSynthetic, WorkloadNERSC, WorkloadBursty} {
+			if c.String() == s {
+				return c, true
+			}
+		}
+		return 0, false
+	})
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalText renders the kind as its String() name.
+func (k AllocKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses an AllocKind name.
+func (k *AllocKind) UnmarshalText(text []byte) error {
+	v, err := parseAllocKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalText renders the kind as its String() name.
+func (k SpinKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a SpinKind name.
+func (k *SpinKind) UnmarshalText(text []byte) error {
+	v, err := enumFromText(text, "spin kind", func(s string) (SpinKind, bool) {
+		for _, c := range []SpinKind{SpinBreakEven, SpinFixed, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized} {
+			if c.String() == s {
+				return c, true
+			}
+		}
+		return 0, false
+	})
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalText renders the kind as its String() name.
+func (k AxisKind) MarshalText() ([]byte, error) {
+	if k == AxisCustom {
+		return nil, fmt.Errorf("farm: custom axes cannot be serialized")
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses an AxisKind name (custom is rejected — a file
+// cannot carry the Apply function).
+func (k *AxisKind) UnmarshalText(text []byte) error {
+	v, err := enumFromText(text, "axis kind", func(s string) (AxisKind, bool) {
+		for c, n := range axisKindNames {
+			if n == s && c != AxisCustom {
+				return c, true
+			}
+		}
+		return 0, false
+	})
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalText renders the kind as its String() name.
+func (k SelectorKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a SelectorKind name.
+func (k *SelectorKind) UnmarshalText(text []byte) error {
+	v, err := enumFromText(text, "selector kind", func(s string) (SelectorKind, bool) {
+		for c, n := range selectorKindNames {
+			if n == s {
+				return c, true
+			}
+		}
+		return 0, false
+	})
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}

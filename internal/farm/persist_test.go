@@ -1,0 +1,118 @@
+package farm
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"diskpack/internal/disk"
+)
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name: "roundtrip",
+		Groups: []DiskGroup{
+			{Count: 8, Params: disk.DefaultParams()},
+			{Count: 8, Params: disk.EcoParams()},
+		},
+		Workload:   SyntheticWorkload(miniSynthetic(300, 2)),
+		Alloc:      AllocSpec{Kind: AllocPackV, CapL: 0.7, V: 4},
+		Spin:       FixedSpin(120),
+		CacheBytes: 16 * disk.GB,
+	}
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, File{Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	// Kinds serialize by name, not number.
+	for _, want := range []string{`"synthetic"`, `"packv"`, `"fixed"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("encoded file missing %s:\n%s", want, buf.String())
+		}
+	}
+	doc, err := DecodeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Sweep != nil || doc.Spec == nil {
+		t.Fatal("round trip changed the document kind")
+	}
+	if !reflect.DeepEqual(*doc.Spec, spec) {
+		t.Fatalf("round trip changed the spec:\nin:  %+v\nout: %+v", spec, *doc.Spec)
+	}
+	// The decoded spec must actually run.
+	if _, err := Run(*doc.Spec, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepFileRoundTrip(t *testing.T) {
+	sweep := Sweep{
+		Name: "grid",
+		Base: testSpec(),
+		Axes: []Axis{
+			{Kind: AxisSpinThreshold, Values: []float64{30, 300}},
+			{Kind: AxisFarmSize, Values: []float64{10, 20}, SeedStep: 2},
+		},
+		Select: Selector{Kind: SelectMinEnergySLO, MaxP95: 25},
+	}
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, File{Sweep: &sweep}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"threshold"`, `"farm"`, `"slo"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("encoded sweep missing %s", want)
+		}
+	}
+	doc, err := DecodeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Sweep == nil {
+		t.Fatal("sweep document decoded as a spec")
+	}
+	if !reflect.DeepEqual(*doc.Sweep, sweep) {
+		t.Fatalf("round trip changed the sweep:\nin:  %+v\nout: %+v", sweep, *doc.Sweep)
+	}
+	// Decoded sweeps run and keep their selection rule.
+	res, err := RunSweep(*doc.Sweep, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("decoded sweep ran %d points, want 4", len(res.Points))
+	}
+}
+
+func TestFileValidation(t *testing.T) {
+	spec := testSpec()
+	sweep := Sweep{Base: spec, Axes: []Axis{{Kind: AxisSpinThreshold, Values: []float64{1}}}}
+	var buf bytes.Buffer
+	if err := EncodeFile(&buf, File{}); err == nil {
+		t.Error("empty document accepted")
+	}
+	if err := EncodeFile(&buf, File{Spec: &spec, Sweep: &sweep}); err == nil {
+		t.Error("two-payload document accepted")
+	}
+	custom := Sweep{Base: spec, Axes: []Axis{{Kind: AxisCustom, Labels: []string{"a"},
+		Apply: func(*Spec, int, []int) error { return nil }}}}
+	if err := EncodeFile(&buf, File{Sweep: &custom}); err == nil {
+		t.Error("custom axis serialized")
+	}
+	bad := spec
+	bad.CacheBytes = -1
+	if err := EncodeFile(&buf, File{Spec: &bad}); err == nil {
+		t.Error("invalid spec serialized")
+	}
+	if _, err := DecodeFile(strings.NewReader(`{"Spec": {"Workload": {"Kind": "nope"}}}`)); err == nil {
+		t.Error("unknown workload kind decoded")
+	}
+	if _, err := DecodeFile(strings.NewReader(`{"Sweep": {"Axes": [{"Kind": "custom", "Labels": ["a"]}]}}`)); err == nil {
+		t.Error("custom axis decoded")
+	}
+	if _, err := DecodeFile(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown field decoded")
+	}
+}

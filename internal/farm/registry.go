@@ -12,11 +12,27 @@ import (
 // fixed threshold) and the sweep reports the most power-frugal point
 // whose p95 response time stays within the SLO — the paper's trade-off
 // posed as the question an operator actually asks.
+//
+// SLOSweep predates the general grid engine and is now a thin alias
+// over it: Grid() compiles it to a one-axis Sweep with a
+// SelectMinEnergySLO selector, and runScenario executes that.
 type SLOSweep struct {
 	// Thresholds are the idleness thresholds to try, in seconds.
 	Thresholds []float64
 	// MaxP95 is the response-time SLO in seconds.
 	MaxP95 float64
+}
+
+// Grid compiles the threshold search to its general form: a sweep of
+// the base spec along one AxisSpinThreshold axis, selecting the
+// cheapest point within the SLO.
+func (s *SLOSweep) Grid(name string, base Spec) Sweep {
+	return Sweep{
+		Name:   name,
+		Base:   base,
+		Axes:   []Axis{{Kind: AxisSpinThreshold, Values: s.Thresholds}},
+		Select: Selector{Kind: SelectMinEnergySLO, MaxP95: s.MaxP95},
+	}
 }
 
 // validate reports the first inconsistency.
@@ -123,7 +139,10 @@ func RunScenario(name string, seed int64) (*Result, error) {
 	return runScenario(sc, seed)
 }
 
-// runScenario executes an already-resolved scenario.
+// runScenario executes an already-resolved scenario. Threshold sweeps
+// go through the grid engine: every point runs with the scenario's seed
+// (so the workload draw is shared and points stay comparable), fanned
+// across the machine's cores.
 func runScenario(sc Scenario, seed int64) (*Result, error) {
 	if sc.Sweep == nil {
 		m, err := Run(sc.Spec, seed)
@@ -132,21 +151,14 @@ func runScenario(sc Scenario, seed int64) (*Result, error) {
 		}
 		return &Result{Scenario: sc, Labels: []string{sc.Spec.Name}, Runs: []*Metrics{m}, Best: 0}, nil
 	}
-	res := &Result{Scenario: sc, Best: -1}
-	bestEnergy := math.Inf(1)
-	for _, th := range sc.Sweep.Thresholds {
-		spec := sc.Spec
-		spec.Spin = FixedSpin(th)
-		m, err := Run(spec, seed)
-		if err != nil {
-			return nil, fmt.Errorf("farm: scenario %s @ threshold %gs: %w", sc.Name, th, err)
-		}
-		res.Labels = append(res.Labels, fmt.Sprintf("threshold=%gs", th))
-		res.Runs = append(res.Runs, m)
-		if m.RespP95 <= sc.Sweep.MaxP95 && m.Energy < bestEnergy {
-			bestEnergy = m.Energy
-			res.Best = len(res.Runs) - 1
-		}
+	sr, err := RunSweep(sc.Sweep.Grid(sc.Name, sc.Spec), seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Scenario: sc, Best: sr.Best}
+	for i := range sr.Points {
+		res.Labels = append(res.Labels, sr.Points[i].Label)
+		res.Runs = append(res.Runs, sr.Points[i].Metrics)
 	}
 	return res, nil
 }

@@ -99,6 +99,9 @@ type Allocation struct {
 	DisksUsed  int
 	LowerBound int
 	Rho        float64
+	// Bound is the Theorem 1 guarantee evaluated on the instance (+Inf
+	// at rho = 1).
+	Bound float64
 }
 
 // Plan runs only the workload-synthesis and allocation stages of a
@@ -166,6 +169,7 @@ func (s Spec) allocate(tr *trace.Trace, seed int64) (*Allocation, error) {
 		DisksUsed:  a.NumDisks,
 		LowerBound: core.LowerBoundDisks(items),
 		Rho:        core.Rho(items),
+		Bound:      core.ApproxBound(items),
 	}, nil
 }
 

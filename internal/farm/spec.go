@@ -13,6 +13,13 @@
 // that the CLI, the experiment harness, and the examples all draw from
 // the same catalogue. Adding a new experiment point to the grid is one
 // registered Spec, not a new file of hand-wired setup.
+//
+// Grids of specs are first-class: a Sweep (see sweep.go) crosses a base
+// Spec with declarative axes (spin threshold, farm size, cache, load
+// constraint, group size, workload intensity, allocator, seed) and
+// RunSweep fans the points across a bounded worker pool, with pluggable
+// Selectors choosing the operating point. Specs and Sweeps serialize to
+// JSON (see persist.go), so whole grids run without recompiling.
 package farm
 
 import (
@@ -70,10 +77,10 @@ func (k WorkloadKind) String() string {
 // own seed argument so a Spec stays reusable across seeds.
 type WorkloadSpec struct {
 	Kind      WorkloadKind
-	Trace     *trace.Trace
-	Synthetic *workload.Synthetic
-	NERSC     *workload.NERSC
-	Bursty    *workload.Bursty
+	Trace     *trace.Trace        `json:",omitempty"`
+	Synthetic *workload.Synthetic `json:",omitempty"`
+	NERSC     *workload.NERSC     `json:",omitempty"`
+	Bursty    *workload.Bursty    `json:",omitempty"`
 }
 
 // TraceWorkload wraps a pre-built trace as a workload source.
@@ -175,14 +182,14 @@ type AllocSpec struct {
 	// CapL is the paper's load constraint L in (0, 1] — the fraction of
 	// one disk's service capability a packing may load onto it. Ignored
 	// by AllocExplicit.
-	CapL float64
+	CapL float64 `json:",omitempty"`
 	// V is the group size for AllocPackV (>= 1).
-	V int
+	V int `json:",omitempty"`
 	// Disks is the farm size for AllocRandom (0 = size of the Pack_Disks
 	// packing of the same items, the paper's convention).
-	Disks int
+	Disks int `json:",omitempty"`
 	// Assign is the explicit file→disk map for AllocExplicit.
-	Assign []int
+	Assign []int `json:",omitempty"`
 }
 
 // Explicit wraps a precomputed assignment.
@@ -261,7 +268,7 @@ type SpinSpec struct {
 	Kind SpinKind
 	// Threshold is the fixed idleness threshold in seconds (SpinFixed
 	// only).
-	Threshold float64
+	Threshold float64 `json:",omitempty"`
 }
 
 // FixedSpin returns a constant-threshold policy spec.
@@ -291,15 +298,15 @@ func (s SpinSpec) validate() error {
 // must carry a CapL for the packing kinds — see AllocSpec).
 type Spec struct {
 	// Name labels the run in Metrics and error messages.
-	Name string
+	Name string `json:",omitempty"`
 	// Groups lays out a heterogeneous farm. Empty means a homogeneous
 	// farm of DefaultParams drives sized to max(FarmSize, disks the
 	// allocation uses).
-	Groups []DiskGroup
+	Groups []DiskGroup `json:",omitempty"`
 	// FarmSize forces a minimum homogeneous farm size (the paper
 	// charges both algorithms for the full 100- or 96-disk farm).
 	// Must be zero when Groups is set — group counts fix the size.
-	FarmSize int
+	FarmSize int `json:",omitempty"`
 	// Workload is the request source.
 	Workload WorkloadSpec
 	// Alloc is the allocation strategy.
@@ -307,10 +314,10 @@ type Spec struct {
 	// Spin is the spin-down policy.
 	Spin SpinSpec
 	// CacheBytes enables a front LRU cache when positive.
-	CacheBytes int64
+	CacheBytes int64 `json:",omitempty"`
 	// WriteBestFit switches write placement from first-fit to best-fit
 	// among spinning disks.
-	WriteBestFit bool
+	WriteBestFit bool `json:",omitempty"`
 }
 
 // Validate reports the first invalid field.

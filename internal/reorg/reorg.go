@@ -52,6 +52,17 @@ type Config struct {
 	// is not stable under rate perturbations); incremental mode keeps
 	// the migration bill proportional to the actual drift.
 	Incremental bool
+	// Adaptive enables per-epoch candidate evaluation: at each
+	// reorganization point the engine proposes keeping the current
+	// allocation, a full repack, and an incremental repack, replays the
+	// finished epoch under each through a parallel farm.Sweep, and
+	// adopts the candidate whose replay energy plus migration bill is
+	// lowest. Mutually exclusive with Static and Incremental (it
+	// subsumes both as candidates).
+	Adaptive bool
+	// Workers bounds the candidate sweep's parallelism in adaptive
+	// mode; 0 means GOMAXPROCS.
+	Workers int
 	// DeviationFactor is the rate ratio (>1) that marks a file as
 	// mis-estimated in incremental mode; 0 means 4.
 	DeviationFactor float64
@@ -96,6 +107,12 @@ func (c Config) normalized() (Config, error) {
 	if c.MinLoadDelta < 0 || c.MinLoadDelta >= 1 {
 		return c, fmt.Errorf("reorg: MinLoadDelta %v outside [0,1)", c.MinLoadDelta)
 	}
+	if c.Adaptive && (c.Static || c.Incremental) {
+		return c, fmt.Errorf("reorg: Adaptive is exclusive with Static and Incremental")
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("reorg: negative Workers %d", c.Workers)
+	}
 	return c, nil
 }
 
@@ -111,6 +128,9 @@ type EpochReport struct {
 	MigrationEnergy float64 // joules charged between epochs
 	MigrationTime   float64 // seconds of disk busy time (both ends)
 	DisksUsed       int
+	// Choice names the candidate adaptive mode adopted after this epoch
+	// ("keep", "incremental", or "full-repack"; empty otherwise).
+	Choice string
 }
 
 // Result aggregates a run.
@@ -213,37 +233,27 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			}
 			var next []int
 			var nextUsed int
-			if cfg.Incremental {
+			switch {
+			case cfg.Adaptive:
+				chosen, err := chooseCandidate(ep, groups, spin, assign, used, estimates, rates, tr.Files, farmSize, cfg, simRes.Energy)
+				if err != nil {
+					return nil, fmt.Errorf("reorg: candidate sweep after epoch %d: %w", ei, err)
+				}
+				next, nextUsed, estimates = chosen.assign, chosen.used, chosen.est
+				report.Choice = chosen.name
+			case cfg.Incremental:
 				next, nextUsed, estimates = incrementalRepack(assign, estimates, rates, tr.Files, cfg, farmSize)
-			} else {
-				next, nextUsed, err = packWithRates(tr.Files, rates, cfg)
+			default:
+				next, nextUsed, err = fullRepack(assign, used, rates, tr.Files, farmSize, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("reorg: repacking after epoch %d: %w", ei, err)
-				}
-				if nextUsed > farmSize {
-					// The farmSize cannot grow mid-run; fall back to
-					// keeping the allocation if the new packing needs
-					// more disks.
-					next = assign
-					nextUsed = used
-				} else {
-					// Pack_Disks numbers disks arbitrarily; relabel
-					// the new packing to maximize byte overlap with
-					// the old one so only genuinely re-placed files
-					// migrate.
-					next = relabelForOverlap(assign, next, tr.Files, farmSize)
 				}
 				estimates = rates
 			}
 			moved, bytes := diffAssignments(assign, next, tr.Files)
 			report.MigratedFiles = moved
 			report.MigratedBytes = bytes
-			// A migration reads the file from the source and writes
-			// it to the target: both drives busy for size/rate at
-			// active power.
-			perDisk := float64(bytes) / cfg.DiskParams.TransferRate
-			report.MigrationTime = 2 * perDisk
-			report.MigrationEnergy = 2 * perDisk * cfg.DiskParams.ActivePower
+			report.MigrationTime, report.MigrationEnergy = migrationCost(bytes, cfg.DiskParams)
 			res.MigrationEnergy += report.MigrationEnergy
 			res.Energy += report.MigrationEnergy
 			res.MigratedBytes += bytes
@@ -307,6 +317,108 @@ func packWithRates(files []trace.FileInfo, rates []float64, cfg Config) ([]int, 
 		return nil, 0, err
 	}
 	return a.DiskOf, a.NumDisks, nil
+}
+
+// fullRepack packs the files on the measured rates and relabels the
+// result against the current allocation. Pack_Disks numbers disks
+// arbitrarily, so the new packing is renamed to maximize byte overlap
+// with the old one — only genuinely re-placed files migrate. A packing
+// that outgrows the farm falls back to keeping the current allocation
+// (the farm size cannot grow mid-run).
+func fullRepack(assign []int, used int, rates []float64, files []trace.FileInfo, farmSize int, cfg Config) ([]int, int, error) {
+	next, nextUsed, err := packWithRates(files, rates, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if nextUsed > farmSize {
+		return assign, used, nil
+	}
+	return relabelForOverlap(assign, next, files, farmSize), nextUsed, nil
+}
+
+// candidate is one next-allocation proposal of adaptive mode.
+type candidate struct {
+	name   string
+	assign []int
+	used   int
+	est    []float64
+}
+
+// chooseCandidate implements adaptive mode's per-epoch decision: the
+// candidate allocations — keep, incremental repack, full repack — are
+// replayed against the finished epoch through a parallel farm.Sweep,
+// each charged its migration bill, and the cheapest wins. Replaying the
+// last epoch is the same hindsight estimate the repacking itself rests
+// on: the measured rates predict the next epoch. The keep candidate's
+// replay is exactly the epoch simulation the caller already ran
+// (farm.Run is pure), so its energy is passed in rather than recomputed
+// — and any candidate that moves no files shares it. Ties keep the
+// earlier (cheaper-to-adopt) candidate, so a drift-free epoch migrates
+// nothing.
+func chooseCandidate(ep *trace.Trace, groups []farm.DiskGroup, spin farm.SpinSpec,
+	assign []int, used int, estimates, rates []float64,
+	files []trace.FileInfo, farmSize int, cfg Config, keepEnergy float64) (candidate, error) {
+
+	cands := []candidate{{name: "keep", assign: assign, used: used, est: estimates}}
+	incAssign, incUsed, incEst := incrementalRepack(assign, estimates, rates, files, cfg, farmSize)
+	cands = append(cands, candidate{name: "incremental", assign: incAssign, used: incUsed, est: incEst})
+	fullAssign, fullUsed, err := fullRepack(assign, used, rates, files, farmSize, cfg)
+	if err != nil {
+		return candidate{}, err
+	}
+	cands = append(cands, candidate{name: "full-repack", assign: fullAssign, used: fullUsed, est: rates})
+
+	migrations := make([]float64, len(cands))
+	var toRun []int
+	for i := range cands {
+		_, bytes := diffAssignments(assign, cands[i].assign, files)
+		_, migrations[i] = migrationCost(bytes, cfg.DiskParams)
+		if i > 0 && bytes > 0 {
+			toRun = append(toRun, i)
+		}
+	}
+	scores := make([]float64, len(cands))
+	for i := range scores {
+		scores[i] = keepEnergy + migrations[i] // overwritten below for re-placed candidates
+	}
+	if len(toRun) > 0 {
+		labels := make([]string, len(toRun))
+		for k, i := range toRun {
+			labels[k] = cands[i].name
+		}
+		sweep := farm.Sweep{
+			Name: "reorg-candidates",
+			Base: farm.Spec{Groups: groups, Workload: farm.TraceWorkload(ep), Spin: spin},
+			Axes: []farm.Axis{{Name: "candidate", Kind: farm.AxisCustom, Labels: labels,
+				Apply: func(s *farm.Spec, k int, _ []int) error {
+					s.Alloc = farm.Explicit(cands[toRun[k]].assign)
+					return nil
+				}}},
+		}
+		res, err := farm.RunSweep(sweep, 0, cfg.Workers)
+		if err != nil {
+			return candidate{}, err
+		}
+		for k, i := range toRun {
+			scores[i] = res.Points[k].Metrics.Energy + migrations[i]
+		}
+	}
+	best, bestScore := 0, math.Inf(1)
+	for i, score := range scores {
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return cands[best], nil
+}
+
+// migrationCost models moving bytes between disks — a read at the
+// source plus a write at the target, both at the drive's transfer rate
+// and active power — returning the total disk busy time and energy.
+// Run's accounting and chooseCandidate's scoring must share this bill.
+func migrationCost(bytes int64, p disk.Params) (busyTime, energy float64) {
+	perDisk := float64(bytes) / p.TransferRate
+	return 2 * perDisk, 2 * perDisk * p.ActivePower
 }
 
 // diffAssignments counts files whose disk changes and their bytes.

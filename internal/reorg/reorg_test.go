@@ -74,6 +74,9 @@ func TestConfigValidation(t *testing.T) {
 		{Epoch: 100, CapL: 0},
 		{Epoch: 100, CapL: 1.5},
 		{Epoch: 100, CapL: 0.5, MinRate: -1},
+		{Epoch: 100, CapL: 0.5, Adaptive: true, Static: true},
+		{Epoch: 100, CapL: 0.5, Adaptive: true, Incremental: true},
+		{Epoch: 100, CapL: 0.5, Workers: -1},
 	}
 	for i, c := range bad {
 		if _, err := Run(tr, c); err == nil {
@@ -183,6 +186,65 @@ func TestStaticNeverMigrates(t *testing.T) {
 	}
 	if res.MigratedBytes != 0 {
 		t.Fatal("static run migrated data")
+	}
+}
+
+// TestAdaptiveChoosesPerEpoch exercises the per-epoch candidate sweep:
+// every reorganization point records which candidate won, the run is
+// deterministic, and the adaptive policy never migrates more than the
+// always-full-repack policy (keep and incremental are among its
+// candidates).
+func TestAdaptiveChoosesPerEpoch(t *testing.T) {
+	tr := driftingTrace(t, 3)
+	epoch := tr.Duration / 3
+	base := Config{Epoch: epoch, CapL: 0.7, IdleThreshold: storage.BreakEven, MinRate: 1e-7}
+
+	full, err := Run(tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adCfg := base
+	adCfg.Adaptive = true
+	adCfg.Farm = full.Farm
+	adaptive, err := Run(tr, adCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive.Epochs) != 3 {
+		t.Fatalf("epochs=%d want 3", len(adaptive.Epochs))
+	}
+	valid := map[string]bool{"keep": true, "incremental": true, "full-repack": true}
+	for i, ep := range adaptive.Epochs[:2] {
+		if !valid[ep.Choice] {
+			t.Errorf("epoch %d chose %q", i, ep.Choice)
+		}
+	}
+	if last := adaptive.Epochs[2].Choice; last != "" {
+		t.Errorf("final epoch recorded choice %q, want none", last)
+	}
+	if adaptive.MigratedBytes > full.MigratedBytes {
+		t.Errorf("adaptive migrated %d bytes, full repack only %d", adaptive.MigratedBytes, full.MigratedBytes)
+	}
+	if adaptive.SavingRatio <= 0 || adaptive.SavingRatio > 1 {
+		t.Errorf("adaptive saving %v implausible", adaptive.SavingRatio)
+	}
+	// Candidate evaluation fans across workers but must stay
+	// deterministic: a serial re-run is identical.
+	serialCfg := adCfg
+	serialCfg.Workers = 1
+	serial, err := Run(tr, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Energy != adaptive.Energy || serial.MigratedBytes != adaptive.MigratedBytes {
+		t.Errorf("adaptive run depends on worker count: energy %v vs %v, bytes %d vs %d",
+			serial.Energy, adaptive.Energy, serial.MigratedBytes, adaptive.MigratedBytes)
+	}
+	for i := range serial.Epochs {
+		if serial.Epochs[i].Choice != adaptive.Epochs[i].Choice {
+			t.Errorf("epoch %d choice differs across worker counts: %q vs %q",
+				i, serial.Epochs[i].Choice, adaptive.Epochs[i].Choice)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package diskpack
 
 import (
+	"io"
+
 	"diskpack/internal/farm"
 )
 
@@ -32,6 +34,19 @@ type (
 	FarmScenarioResult = farm.Result
 	// FarmSLOSweep turns a scenario into an operating-point search.
 	FarmSLOSweep = farm.SLOSweep
+	// FarmSweep declares a parallel grid of scenarios: a base spec plus
+	// one axis per varied dimension and a selection rule.
+	FarmSweep = farm.Sweep
+	// FarmAxis varies one spec dimension of a sweep.
+	FarmAxis = farm.Axis
+	// FarmSelector is a sweep's operating-point rule.
+	FarmSelector = farm.Selector
+	// FarmPoint is one compiled grid position with its result.
+	FarmPoint = farm.Point
+	// FarmSweepResult is a completed grid plus the selector's verdict.
+	FarmSweepResult = farm.SweepResult
+	// FarmFile is the JSON scenario document (one Spec or one Sweep).
+	FarmFile = farm.File
 )
 
 // Workload-source constructors.
@@ -69,6 +84,27 @@ const (
 	SpinRandomized = farm.SpinRandomized
 )
 
+// Sweep axis kinds: which spec dimension an axis varies.
+const (
+	AxisSpinThreshold = farm.AxisSpinThreshold
+	AxisFarmSize      = farm.AxisFarmSize
+	AxisCacheBytes    = farm.AxisCacheBytes
+	AxisCapL          = farm.AxisCapL
+	AxisPackV         = farm.AxisPackV
+	AxisArrivalRate   = farm.AxisArrivalRate
+	AxisAllocKind     = farm.AxisAllocKind
+	AxisSeed          = farm.AxisSeed
+	AxisCustom        = farm.AxisCustom
+)
+
+// Sweep selector kinds: how a sweep picks its operating point.
+const (
+	SelectNone         = farm.SelectNone
+	SelectMinEnergySLO = farm.SelectMinEnergySLO
+	SelectKnee         = farm.SelectKnee
+	SelectPareto       = farm.SelectPareto
+)
+
 // PackedAlloc returns the paper's default allocation (Pack_Disks) at
 // load constraint L.
 func PackedAlloc(capL float64) FarmAlloc { return farm.Packed(capL) }
@@ -101,3 +137,27 @@ func FarmScenarios() []FarmScenario { return farm.Scenarios() }
 func RunScenario(name string, seed int64) (*FarmScenarioResult, error) {
 	return farm.RunScenario(name, seed)
 }
+
+// RunSweep compiles a grid of specs (the cross-product of the sweep's
+// axes over its base) and fans the points across up to workers
+// goroutines (0 = GOMAXPROCS). Results are byte-identical for any
+// worker count; the sweep's selector picks the operating point(s).
+func RunSweep(sweep FarmSweep, seed int64, workers int) (*FarmSweepResult, error) {
+	return farm.RunSweep(sweep, seed, workers)
+}
+
+// ParseSweepAxis parses the "dim=v1,v2,..." axis grammar shared with
+// cmd/disksim's -sweep flag.
+func ParseSweepAxis(s string) (FarmAxis, error) { return farm.ParseAxis(s) }
+
+// ParseSweepSelector parses the selector grammar shared with
+// cmd/disksim's -select flag: "none", "knee", "pareto", "slo=SECONDS".
+func ParseSweepSelector(s string) (FarmSelector, error) { return farm.ParseSelector(s) }
+
+// EncodeFarmFile writes a scenario document (one Spec or one Sweep) as
+// JSON; DecodeFarmFile reads one back. cmd/disksim runs these files
+// directly via -spec.
+func EncodeFarmFile(w io.Writer, f FarmFile) error { return farm.EncodeFile(w, f) }
+
+// DecodeFarmFile reads and validates a JSON scenario document.
+func DecodeFarmFile(r io.Reader) (*FarmFile, error) { return farm.DecodeFile(r) }
