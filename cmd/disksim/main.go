@@ -25,13 +25,25 @@
 //
 //	disksim -trace nersc.trace -sweep threshold=60,1800 -spec-out grid.json
 //	disksim -spec grid.json -seed 7
+//
+// Grids too large for one machine shard into self-contained JSON
+// manifests, run anywhere, and merge back byte-identically (selectors
+// apply post-merge; a re-run of -run-shard resumes, skipping points its
+// result file already holds):
+//
+//	disksim -scenario paper-synth -sweep threshold=30,300 -shards 3 -shard-out grid/
+//	disksim -run-shard grid/shard-000.json        # on any machine
+//	disksim -merge grid/ -select knee
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -49,38 +61,95 @@ func (a *axisFlags) Set(s string) error {
 	return nil
 }
 
+// gridUsage is appended to every -sweep/-select parse failure so a typo
+// always surfaces the full vocabulary, whatever path it took in.
+const gridUsage = `sweep axes (repeatable, -sweep dim=v1,v2,...):
+  threshold  spin-down idleness threshold, seconds
+  farm       farm size, disks
+  cache      front LRU cache, bytes
+  L          packing load constraint in (0,1]
+  v          Pack_Disks_v group size
+  rate       workload intensity, requests/s
+  alloc      allocation strategy: pack, packv, random, firstfit, ffd, bestfit, chp
+  seed       seed offset for independent replications
+selectors (-select): none, knee, pareto, slo=SECONDS`
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "disksim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI behind a testable seam: it parses args, writes
+// human output to out, and returns an error instead of exiting — every
+// failure path, flag parsing included, becomes a non-zero exit in main.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("disksim", flag.ContinueOnError)
 	var sweeps axisFlags
 	var (
-		scenario  = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
-		list      = flag.Bool("scenarios", false, "list registered scenarios and exit")
-		tracePath = flag.String("trace", "", "input trace file (ad-hoc mode)")
-		assignIn  = flag.String("assign", "", "file→disk map (one disk per line); overrides -algo")
-		algo      = flag.String("algo", "pack", "allocator when -assign is absent: pack, pack4, random, ffd, firstfit, bestfit, chp")
-		capL      = flag.Float64("L", 0.7, "load constraint for packing")
-		farmN     = flag.Int("disks", 0, "farm size (0 = as many as the allocation uses)")
-		threshold = flag.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', 'never', 'immediate', 'adaptive', or 'randomized'")
-		cacheB    = flag.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
-		seed      = flag.Int64("seed", 1, "seed for random placement and randomized policies")
-		workers   = flag.Int("workers", 0, "parallel sweep simulations (0 = GOMAXPROCS)")
-		selectS   = flag.String("select", "", "sweep operating-point rule: slo=SECONDS, knee, pareto (default none)")
-		specIn    = flag.String("spec", "", "run a JSON scenario file (a Spec or a Sweep; see -spec-out)")
-		specOut   = flag.String("spec-out", "", "write the assembled spec/sweep as JSON and exit")
-		verbose   = flag.Bool("v", false, "per-disk breakdown")
+		scenario    = fs.String("scenario", "", "run a registered scenario by name (see -scenarios)")
+		list        = fs.Bool("scenarios", false, "list registered scenarios and exit")
+		tracePath   = fs.String("trace", "", "input trace file (ad-hoc mode)")
+		assignIn    = fs.String("assign", "", "file→disk map (one disk per line); overrides -algo")
+		algo        = fs.String("algo", "pack", "allocator when -assign is absent: pack, pack4, random, ffd, firstfit, bestfit, chp")
+		capL        = fs.Float64("L", 0.7, "load constraint for packing")
+		farmN       = fs.Int("disks", 0, "farm size (0 = as many as the allocation uses)")
+		threshold   = fs.String("threshold", "breakeven", "idleness threshold in seconds, 'breakeven', 'never', 'immediate', 'adaptive', or 'randomized'")
+		cacheB      = fs.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
+		seed        = fs.Int64("seed", 1, "seed for random placement and randomized policies")
+		workers     = fs.Int("workers", 0, "parallel sweep simulations (0 = GOMAXPROCS)")
+		selectS     = fs.String("select", "", "sweep operating-point rule: slo=SECONDS, knee, pareto (default none)")
+		specIn      = fs.String("spec", "", "run a JSON scenario file (a Spec or a Sweep; see -spec-out)")
+		specOut     = fs.String("spec-out", "", "write the assembled spec/sweep as JSON and exit")
+		shards      = fs.Int("shards", 0, "split the grid into N shard manifests under -shard-out instead of running it")
+		shardOut    = fs.String("shard-out", "", "directory for -shards manifests (created if missing)")
+		runShard    = fs.String("run-shard", "", "execute one shard manifest file and write its result file")
+		shardResult = fs.String("shard-result", "", "result file for -run-shard (default: manifest path with .result.json)")
+		mergeDir    = fs.String("merge", "", "merge shard result files (*.result.json) from a directory and report the sweep")
+		verbose     = fs.Bool("v", false, "per-disk breakdown")
 	)
-	flag.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed)")
-	flag.Parse()
-
-	if *list {
-		listScenarios()
-		return
+	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed)")
+	// The FlagSet would print every parse error itself and main would
+	// print it again; silence the FlagSet and report once (restoring
+	// output for an explicit -h).
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
 	}
 
+	var visited []string
+	fs.Visit(func(f *flag.Flag) { visited = append(visited, f.Name) })
+	sort.Strings(visited)
+	// onlyFlags rejects any explicitly-set flag outside the mode's
+	// allowlist: a flag the mode would silently ignore must fail loudly
+	// instead.
+	onlyFlags := func(mode, reason string, allowed ...string) error {
+		ok := map[string]bool{mode: true}
+		for _, a := range allowed {
+			ok[a] = true
+		}
+		for _, name := range visited {
+			if !ok[name] {
+				return fmt.Errorf("-%s ignores -%s: %s", mode, name, reason)
+			}
+		}
+		return nil
+	}
+
+	// Parse the grid flags before any early return: a bad -sweep or
+	// -select must fail the run even alongside -scenarios, not be
+	// silently swallowed by an earlier exit path.
 	axes := make([]farm.Axis, 0, len(sweeps))
 	for _, s := range sweeps {
 		ax, err := farm.ParseAxis(s)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("%w\n%s", err, gridUsage)
 		}
 		axes = append(axes, ax)
 	}
@@ -88,33 +157,77 @@ func main() {
 	if *selectS != "" {
 		var err error
 		if selector, err = farm.ParseSelector(*selectS); err != nil {
-			fatal(err)
+			return fmt.Errorf("%w\n%s", err, gridUsage)
 		}
+	}
+
+	if *list {
+		if err := onlyFlags("scenarios", "it only lists the catalogue"); err != nil {
+			return err
+		}
+		listScenarios(out)
+		return nil
+	}
+
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be >= 1", *shards)
+	}
+	if *runShard != "" {
+		if err := onlyFlags("run-shard",
+			"it takes only -shard-result and -workers (the manifest carries the sweep and its seed)",
+			"shard-result", "workers"); err != nil {
+			return err
+		}
+		return runShardFile(*runShard, *shardResult, *workers, out)
+	}
+	if *mergeDir != "" {
+		if err := onlyFlags("merge",
+			"it takes only -select and -v (the result files carry the sweep and its seed)",
+			"select", "v"); err != nil {
+			return err
+		}
+		return mergeShards(*mergeDir, selector, *selectS != "", *verbose, out)
+	}
+	// The shard companion flags must not outlive their mode: without it
+	// they would be silently ignored and the grid would run locally.
+	if *shardOut != "" && *shards == 0 {
+		return fmt.Errorf("-shard-out needs -shards N")
+	}
+	if *shardResult != "" {
+		return fmt.Errorf("-shard-result needs -run-shard FILE")
+	}
+	if *shards > 0 && *specOut != "" {
+		return fmt.Errorf("-shards and -spec-out both write files and exit: pick one")
 	}
 
 	if *specIn != "" {
 		if len(axes) > 0 || *selectS != "" || *specOut != "" {
-			fatal(fmt.Errorf("-sweep/-select/-spec-out cannot be combined with -spec (edit the file instead)"))
+			return fmt.Errorf("-sweep/-select/-spec-out cannot be combined with -spec (edit the file instead)")
 		}
 		f, err := os.Open(*specIn)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		doc, err := farm.DecodeFile(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if *shards > 0 {
+			if doc.Sweep == nil {
+				return fmt.Errorf("-shards needs a grid: %s holds a single Spec, not a Sweep", *specIn)
+			}
+			return writeShards(*doc.Sweep, *seed, *shards, *shardOut, out)
 		}
 		if doc.Sweep != nil {
-			runSweep(*doc.Sweep, *seed, *workers, *verbose)
-			return
+			return runSweep(out, *doc.Sweep, *seed, *workers, *verbose)
 		}
 		m, err := farm.Run(*doc.Spec, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		printMetrics(m, "", doc.Spec.CacheBytes > 0, *verbose)
-		return
+		printMetrics(out, m, "", doc.Spec.CacheBytes > 0, *verbose)
+		return nil
 	}
 
 	// Resolve the base spec: a registered scenario or the ad-hoc flags.
@@ -123,15 +236,15 @@ func main() {
 	case *scenario != "":
 		sc, ok := farm.Lookup(*scenario)
 		if !ok {
-			fatal(fmt.Errorf("unknown scenario %q (use -scenarios to list)", *scenario))
+			return fmt.Errorf("unknown scenario %q (use -scenarios to list)", *scenario)
 		}
-		if len(axes) == 0 && *selectS == "" && *specOut == "" {
+		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 {
 			res, err := farm.RunScenario(*scenario, *seed)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			printScenario(res, *verbose)
-			return
+			printScenario(out, res, *verbose)
+			return nil
 		}
 		base = sc.Spec
 		if sc.Sweep != nil {
@@ -145,24 +258,24 @@ func main() {
 			}
 		}
 	case *tracePath == "":
-		fatal(fmt.Errorf("one of -scenario, -trace, or -spec is required (use -scenarios to list)"))
+		return fmt.Errorf("one of -scenario, -trace, -spec, -run-shard, or -merge is required (use -scenarios to list)")
 	default:
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tr, err := trace.Read(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		alloc, err := allocSpec(*assignIn, *algo, *capL, *farmN)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		spin, err := spinSpec(*threshold)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		base = farm.Spec{
 			Name:       "disksim",
@@ -175,7 +288,14 @@ func main() {
 	}
 
 	if selector.Kind != farm.SelectNone && len(axes) == 0 {
-		fatal(fmt.Errorf("-select needs a grid: add at least one -sweep axis"))
+		return fmt.Errorf("-select needs a grid: add at least one -sweep axis")
+	}
+	if *shards > 0 {
+		if len(axes) == 0 {
+			return fmt.Errorf("-shards needs a grid: add -sweep axes or use a sweep scenario/spec")
+		}
+		return writeShards(farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
+			*seed, *shards, *shardOut, out)
 	}
 
 	if *specOut != "" {
@@ -187,58 +307,196 @@ func main() {
 		}
 		f, err := os.Create(*specOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		err = farm.EncodeFile(f, doc)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *specOut)
-		return
+		fmt.Fprintf(out, "wrote %s\n", *specOut)
+		return nil
 	}
 
 	if len(axes) > 0 {
-		runSweep(farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector}, *seed, *workers, *verbose)
-		return
+		return runSweep(out, farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
+			*seed, *workers, *verbose)
 	}
 	m, err := farm.Run(base, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	printMetrics(m, *threshold, *cacheB > 0, *verbose)
+	printMetrics(out, m, *threshold, *cacheB > 0, *verbose)
+	return nil
+}
+
+// shardFileName names shard i's manifest; its result file replaces
+// .json with .result.json (see resultPathFor).
+func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.json", i) }
+
+// resultPathFor derives the default result path of a manifest.
+func resultPathFor(manifestPath string) string {
+	return strings.TrimSuffix(manifestPath, ".json") + ".result.json"
+}
+
+// writeShards partitions the sweep and writes one manifest per shard
+// under dir.
+func writeShards(sweep farm.Sweep, seed int64, n int, dir string, out io.Writer) error {
+	if dir == "" {
+		return fmt.Errorf("-shards needs -shard-out DIR")
+	}
+	manifests, err := farm.Shard(sweep, seed, n)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range manifests {
+		path := filepath.Join(dir, shardFileName(m.Index))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = farm.EncodeShard(f, m)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d points)\n", path, len(m.Points))
+	}
+	fmt.Fprintf(out, "%d shards over %d points; run each with -run-shard, then -merge %s\n",
+		n, sweep.NumPoints(), dir)
+	return nil
+}
+
+// runShardFile executes one manifest to its result file. An existing
+// result file is the resume input: points it already holds are reused,
+// only the rest run.
+func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) error {
+	if resultPath == "" {
+		resultPath = resultPathFor(manifestPath)
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return err
+	}
+	m, err := farm.DecodeShard(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var prior *farm.ShardResult
+	if rf, err := os.Open(resultPath); err == nil {
+		prior, err = farm.DecodeShardResult(rf)
+		rf.Close()
+		if err != nil {
+			return fmt.Errorf("existing result %s: %w (delete it to start over)", resultPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	reused := m.Reused(prior)
+	res, err := farm.RunShard(*m, prior, workers)
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so a failure mid-write cannot destroy the prior
+	// result the resume path depends on.
+	tmp := resultPath + ".tmp"
+	rf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = farm.EncodeShardResult(rf, *res)
+	if cerr := rf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, resultPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shard %d/%d: %d points (%d reused) -> %s\n",
+		m.Index, m.Count, len(res.Points), reused, resultPath)
+	return nil
+}
+
+// mergeShards recombines every *.result.json under dir and reports the
+// sweep exactly as a single-process run would have. A -select override
+// re-picks the operating point post-merge.
+func mergeShards(dir string, sel farm.Selector, selSet, verbose bool, out io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var results []farm.ShardResult
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".result.json") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		r, err := farm.DecodeShardResult(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		results = append(results, *r)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no *.result.json files in %s (run shards with -run-shard first)", dir)
+	}
+	res, err := farm.Merge(results)
+	if err != nil {
+		return err
+	}
+	if selSet {
+		if err := res.Reselect(sel); err != nil {
+			return err
+		}
+	}
+	printSweep(out, res, verbose)
+	return nil
 }
 
 // runSweep executes and prints an ad-hoc grid.
-func runSweep(sweep farm.Sweep, seed int64, workers int, verbose bool) {
+func runSweep(out io.Writer, sweep farm.Sweep, seed int64, workers int, verbose bool) error {
 	res, err := farm.RunSweep(sweep, seed, workers)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	printSweep(res, verbose)
+	printSweep(out, res, verbose)
+	return nil
 }
 
-func listScenarios() {
+func listScenarios(out io.Writer) {
 	for _, sc := range farm.Scenarios() {
 		kind := "run"
 		if sc.Sweep != nil {
 			kind = fmt.Sprintf("sweep over %d thresholds", len(sc.Sweep.Thresholds))
 		}
-		fmt.Printf("%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
+		fmt.Fprintf(out, "%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
 	}
 }
 
-func printScenario(res *farm.Result, verbose bool) {
-	fmt.Printf("scenario %s — %s\n", res.Scenario.Name, res.Scenario.Doc)
+func printScenario(out io.Writer, res *farm.Result, verbose bool) {
+	fmt.Fprintf(out, "scenario %s — %s\n", res.Scenario.Name, res.Scenario.Doc)
 	if res.Scenario.Sweep == nil {
-		fmt.Println()
-		printMetrics(res.Runs[0], "", res.Scenario.Spec.CacheBytes > 0, verbose)
+		fmt.Fprintln(out)
+		printMetrics(out, res.Runs[0], "", res.Scenario.Spec.CacheBytes > 0, verbose)
 		return
 	}
-	fmt.Printf("SLO: p95 response <= %g s\n\n", res.Scenario.Sweep.MaxP95)
-	fmt.Printf("%-18s %10s %10s %10s %10s %8s\n", "point", "power(W)", "saving", "p95(s)", "mean(s)", "meets?")
+	fmt.Fprintf(out, "SLO: p95 response <= %g s\n\n", res.Scenario.Sweep.MaxP95)
+	fmt.Fprintf(out, "%-18s %10s %10s %10s %10s %8s\n", "point", "power(W)", "saving", "p95(s)", "mean(s)", "meets?")
 	for i, m := range res.Runs {
 		mark := "no"
 		if m.RespP95 <= res.Scenario.Sweep.MaxP95 {
@@ -247,37 +505,37 @@ func printScenario(res *farm.Result, verbose bool) {
 		if i == res.Best {
 			mark = "chosen"
 		}
-		fmt.Printf("%-18s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
+		fmt.Fprintf(out, "%-18s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
 			res.Labels[i], m.AvgPower, m.PowerSavingRatio*100, m.RespP95, m.RespMean, mark)
 	}
 	if res.Best < 0 {
-		fmt.Println("\nno threshold meets the SLO — add disks or relax the target")
+		fmt.Fprintln(out, "\nno threshold meets the SLO — add disks or relax the target")
 	} else {
 		best := res.Runs[res.Best]
-		fmt.Printf("\noperating point: %s (%.1f W, p95 %.2f s)\n", res.Labels[res.Best], best.AvgPower, best.RespP95)
+		fmt.Fprintf(out, "\noperating point: %s (%.1f W, p95 %.2f s)\n", res.Labels[res.Best], best.AvgPower, best.RespP95)
 	}
 }
 
 // printSweep renders a grid result: one row per point plus the
 // selector's verdict.
-func printSweep(res *farm.SweepResult, verbose bool) {
+func printSweep(out io.Writer, res *farm.SweepResult, verbose bool) {
 	name := res.Sweep.Name
 	if name == "" {
 		name = "sweep"
 	}
-	fmt.Printf("sweep %s — %d points\n", name, len(res.Points))
+	fmt.Fprintf(out, "sweep %s — %d points\n", name, len(res.Points))
 	if res.Sweep.PlanOnly {
-		printPlanSweep(res)
+		printPlanSweep(out, res)
 		return
 	}
 	sel := res.Sweep.Select
 	switch sel.Kind {
 	case farm.SelectMinEnergySLO:
-		fmt.Printf("selector: min energy with p95 response <= %g s\n", sel.MaxP95)
+		fmt.Fprintf(out, "selector: min energy with p95 response <= %g s\n", sel.MaxP95)
 	case farm.SelectKnee:
-		fmt.Println("selector: knee of the energy/response curve")
+		fmt.Fprintln(out, "selector: knee of the energy/response curve")
 	case farm.SelectPareto:
-		fmt.Println("selector: pareto front of (energy, mean response)")
+		fmt.Fprintln(out, "selector: pareto front of (energy, mean response)")
 	}
 	onFront := make(map[int]bool, len(res.Front))
 	for _, i := range res.Front {
@@ -289,7 +547,7 @@ func printSweep(res *farm.SweepResult, verbose bool) {
 			width = len(res.Points[i].Label)
 		}
 	}
-	fmt.Printf("\n%-*s %10s %10s %10s %10s %8s\n", width, "point", "power(W)", "saving", "p95(s)", "mean(s)", "")
+	fmt.Fprintf(out, "\n%-*s %10s %10s %10s %10s %8s\n", width, "point", "power(W)", "saving", "p95(s)", "mean(s)", "")
 	for i := range res.Points {
 		m := res.Points[i].Metrics
 		mark := ""
@@ -301,68 +559,68 @@ func printSweep(res *farm.SweepResult, verbose bool) {
 		case sel.Kind == farm.SelectMinEnergySLO && m.RespP95 <= sel.MaxP95:
 			mark = "ok"
 		}
-		fmt.Printf("%-*s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
+		fmt.Fprintf(out, "%-*s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
 			width, res.Points[i].Label, m.AvgPower, m.PowerSavingRatio*100, m.RespP95, m.RespMean, mark)
 	}
 	switch {
 	case res.Best >= 0:
 		best := res.Points[res.Best]
-		fmt.Printf("\noperating point: %s (%.1f W, p95 %.2f s)\n", best.Label, best.Metrics.AvgPower, best.Metrics.RespP95)
+		fmt.Fprintf(out, "\noperating point: %s (%.1f W, p95 %.2f s)\n", best.Label, best.Metrics.AvgPower, best.Metrics.RespP95)
 	case sel.Kind == farm.SelectMinEnergySLO:
-		fmt.Println("\nno point meets the SLO — add disks or relax the target")
+		fmt.Fprintln(out, "\nno point meets the SLO — add disks or relax the target")
 	case sel.Kind == farm.SelectPareto:
-		fmt.Printf("\npareto front: %d of %d points\n", len(res.Front), len(res.Points))
+		fmt.Fprintf(out, "\npareto front: %d of %d points\n", len(res.Front), len(res.Points))
 	}
 	if verbose {
 		for i := range res.Points {
-			fmt.Printf("\n== %s ==\n", res.Points[i].Label)
-			printMetrics(res.Points[i].Metrics, "", res.Points[i].Spec.CacheBytes > 0, true)
+			fmt.Fprintf(out, "\n== %s ==\n", res.Points[i].Label)
+			printMetrics(out, res.Points[i].Metrics, "", res.Points[i].Spec.CacheBytes > 0, true)
 		}
 	}
 }
 
 // printPlanSweep renders a plan-only grid: allocation quality per
 // point, no simulation metrics and no operating point.
-func printPlanSweep(res *farm.SweepResult) {
-	fmt.Println("plan only: allocation stage, no simulation")
+func printPlanSweep(out io.Writer, res *farm.SweepResult) {
+	fmt.Fprintln(out, "plan only: allocation stage, no simulation")
 	width := 24
 	for i := range res.Points {
 		if len(res.Points[i].Label) > width {
 			width = len(res.Points[i].Label)
 		}
 	}
-	fmt.Printf("\n%-*s %8s %10s %8s %10s\n", width, "point", "disks", "lower-bnd", "rho", "thm1-bnd")
+	fmt.Fprintf(out, "\n%-*s %8s %10s %8s %10s\n", width, "point", "disks", "lower-bnd", "rho", "thm1-bnd")
 	for i := range res.Points {
 		a := res.Points[i].Alloc
-		fmt.Printf("%-*s %8d %10d %8.3f %10.2f\n",
+		fmt.Fprintf(out, "%-*s %8d %10d %8.3f %10.2f\n",
 			width, res.Points[i].Label, a.DisksUsed, a.LowerBound, a.Rho, a.Bound)
 	}
 }
 
-func printMetrics(m *farm.Metrics, threshold string, withCache, verbose bool) {
+func printMetrics(out io.Writer, m *farm.Metrics, threshold string, withCache, verbose bool) {
 	if threshold != "" {
-		fmt.Printf("farm              %d disks, threshold %s\n", m.FarmSize, threshold)
+		fmt.Fprintf(out, "farm              %d disks, threshold %s\n", m.FarmSize, threshold)
 	} else {
-		fmt.Printf("farm              %d disks (%d used by the allocation)\n", m.FarmSize, m.DisksUsed)
+		fmt.Fprintf(out, "farm              %d disks (%d used by the allocation)\n", m.FarmSize, m.DisksUsed)
 	}
-	fmt.Printf("energy            %.3e J over %.0f s (avg %.1f W)\n", m.Energy, m.Duration, m.AvgPower)
-	fmt.Printf("no-saving energy  %.3e J\n", m.NoSavingEnergy)
-	fmt.Printf("power saving      %.1f%%\n", m.PowerSavingRatio*100)
-	fmt.Printf("response time     mean %.2f s  median %.2f s  p95 %.2f s  p99 %.2f s  max %.2f s\n",
+	fmt.Fprintf(out, "energy            %.3e J over %.0f s (avg %.1f W)\n", m.Energy, m.Duration, m.AvgPower)
+	fmt.Fprintf(out, "no-saving energy  %.3e J\n", m.NoSavingEnergy)
+	fmt.Fprintf(out, "power saving      %.1f%%\n", m.PowerSavingRatio*100)
+	fmt.Fprintf(out, "response time     mean %.2f s  median %.2f s  p95 %.2f s  p99 %.2f s  max %.2f s\n",
 		m.RespMean, m.RespMedian, m.RespP95, m.RespP99, m.RespMax)
-	fmt.Printf("requests          %d completed, %d unfinished\n", m.Completed, m.Unfinished)
-	fmt.Printf("spin transitions  %d up, %d down\n", m.SpinUps, m.SpinDowns)
-	fmt.Printf("avg standby disks %.1f of %d\n", m.AvgStandbyDisks, m.FarmSize)
-	fmt.Printf("peak disk queue   %d\n", m.Sim.PeakQueue)
+	fmt.Fprintf(out, "requests          %d completed, %d unfinished\n", m.Completed, m.Unfinished)
+	fmt.Fprintf(out, "spin transitions  %d up, %d down\n", m.SpinUps, m.SpinDowns)
+	fmt.Fprintf(out, "avg standby disks %.1f of %d\n", m.AvgStandbyDisks, m.FarmSize)
+	fmt.Fprintf(out, "peak disk queue   %d\n", m.Sim.PeakQueue)
 	if withCache {
-		fmt.Printf("cache             %d hits / %d misses (%.1f%%)\n",
+		fmt.Fprintf(out, "cache             %d hits / %d misses (%.1f%%)\n",
 			m.Sim.CacheHits, m.Sim.CacheMisses, m.CacheHitRatio*100)
 	}
 	if verbose {
-		fmt.Println("\ndisk  served  bytesGB  energyKJ  spinups  util%  idle%  standby%")
+		fmt.Fprintln(out, "\ndisk  served  bytesGB  energyKJ  spinups  util%  idle%  standby%")
 		for i, b := range m.Sim.PerDisk {
 			total := m.Duration
-			fmt.Printf("%4d  %6d  %7.1f  %8.1f  %7d  %5.1f  %5.1f  %8.1f\n",
+			fmt.Fprintf(out, "%4d  %6d  %7.1f  %8.1f  %7d  %5.1f  %5.1f  %8.1f\n",
 				i, b.Served, float64(b.BytesRead)/1e9, b.Energy/1e3, b.SpinUps,
 				100*m.Utilization[i],
 				100*b.Durations[disk.Idle]/total,
@@ -440,9 +698,4 @@ func readAssign(path string) ([]int, error) {
 		out = append(out, d)
 	}
 	return out, sc.Err()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "disksim:", err)
-	os.Exit(1)
 }

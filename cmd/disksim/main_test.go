@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/farm"
+	"diskpack/internal/workload"
+)
+
+// writeGridSpec writes a small sweep scenario file and returns its
+// path: a 300-file Table 1 miniature crossed over threshold × farm
+// size, the same shape the farm fixtures use.
+func writeGridSpec(t *testing.T, dir string) string {
+	t.Helper()
+	cfg := workload.DefaultSynthetic(2, 0)
+	cfg.NumFiles = 300
+	cfg.MinSize = disk.MB
+	cfg.MaxSize = 40 * disk.MB
+	sweep := farm.Sweep{
+		Name: "cli-grid",
+		Base: farm.Spec{
+			Name:     "cli-grid",
+			Workload: farm.SyntheticWorkload(cfg),
+			Alloc:    farm.Packed(0.7),
+		},
+		Axes: []farm.Axis{
+			{Kind: farm.AxisSpinThreshold, Values: []float64{30, 600}},
+			{Kind: farm.AxisFarmSize, Values: []float64{8, 12}},
+		},
+		Select: farm.Selector{Kind: farm.SelectKnee},
+	}
+	path := filepath.Join(dir, "grid.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := farm.EncodeFile(f, farm.File{Sweep: &sweep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestShardMergeMatchesSingleRun drives the whole CLI path the CI
+// matrix job uses: shard a spec-file grid, run each shard, merge, and
+// require the merged report to be byte-identical to the single-process
+// run of the same file.
+func TestShardMergeMatchesSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+
+	var single bytes.Buffer
+	if err := run([]string{"-spec", spec, "-seed", "5"}, &single); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := filepath.Join(dir, "shards")
+	if err := run([]string{"-spec", spec, "-seed", "5", "-shards", "2", "-shard-out", shardDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"shard-000.json", "shard-001.json"} {
+		if err := run([]string{"-run-shard", filepath.Join(shardDir, name)}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged bytes.Buffer
+	if err := run([]string{"-merge", shardDir}, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != merged.String() {
+		t.Fatalf("merged report differs from the single-process run:\n--- single\n%s--- merged\n%s", single.String(), merged.String())
+	}
+
+	// Re-running a shard resumes: the result file already holds every
+	// point, so nothing is recomputed and the merge still matches.
+	var rerun bytes.Buffer
+	if err := run([]string{"-run-shard", filepath.Join(shardDir, "shard-000.json")}, &rerun); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rerun.String(), "(2 reused)") {
+		t.Errorf("re-run did not resume from the existing result file: %q", rerun.String())
+	}
+	merged.Reset()
+	if err := run([]string{"-merge", shardDir}, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != merged.String() {
+		t.Fatal("merged report changed after a resumed re-run")
+	}
+
+	// A post-merge -select override re-picks the operating point.
+	var reselected bytes.Buffer
+	if err := run([]string{"-merge", shardDir, "-select", "pareto"}, &reselected); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reselected.String(), "pareto front") {
+		t.Errorf("-merge -select pareto did not re-select:\n%s", reselected.String())
+	}
+}
+
+// TestBadGridFlagsFail pins the exit-status bug: every path that parses
+// -sweep or -select must fail (non-nil error from run, hence non-zero
+// exit) and surface the axis/selector catalogue — including paths like
+// -scenarios that used to return success before parsing the grid flags.
+func TestBadGridFlagsFail(t *testing.T) {
+	cases := [][]string{
+		{"-scenarios", "-sweep", "bogus=1,2"},
+		{"-scenario", "paper-synth", "-sweep", "bogus=1,2"},
+		{"-scenario", "paper-synth", "-sweep", "threshold=x"},
+		{"-scenario", "paper-synth", "-sweep", "threshold="},
+		{"-scenario", "paper-synth", "-sweep", "threshold=30", "-select", "bogus"},
+		{"-scenarios", "-select", "slo"},
+	}
+	for _, args := range cases {
+		err := run(args, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want parse failure", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "selectors (-select)") {
+			t.Errorf("run(%v) error lacks the grid catalogue: %v", args, err)
+		}
+	}
+	// An undefined flag must also fail rather than be ignored.
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Error("undefined flag accepted")
+	}
+	// The happy paths stay happy.
+	if err := run([]string{"-scenarios"}, io.Discard); err != nil {
+		t.Errorf("-scenarios failed: %v", err)
+	}
+}
+
+func TestShardFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+	cases := [][]string{
+		{"-spec", spec, "-shards", "2"},                                         // no -shard-out
+		{"-run-shard", "x.json", "-sweep", "threshold=30"},                      // run-shard is self-contained
+		{"-merge", dir, "-shards", "2"},                                         // merge doesn't shard
+		{"-spec", spec, "-shards", "2", "-shard-out", dir, "-spec-out", "o.js"}, // two write-and-exit modes
+		{"-scenario", "paper-synth", "-shards", "2", "-shard-out", dir},         // no grid on a plain scenario
+		{"-run-shard", "x.json", "-seed", "99"},                                 // seed lives in the manifest
+		{"-merge", dir, "-seed", "99"},                                          // seed lives in the results
+		{"-run-shard", "x.json", "-threshold", "900"},                           // spec flags would be silently ignored
+		{"-run-shard", "x.json", "-cache", "16e9"},
+		{"-run-shard", "x.json", "-v"},                                                                // run-shard writes a file, prints no metrics
+		{"-merge", dir, "-workers", "4"},                                                              // merge runs nothing
+		{"-scenario", "paper-synth", "-sweep", "threshold=30,60", "-shard-out", dir},                  // -shard-out without -shards
+		{"-scenario", "paper-synth", "-shard-result", "r.json"},                                       // -shard-result without -run-shard
+		{"-scenario", "paper-synth", "-sweep", "threshold=30,60", "-shards", "-1", "-shard-out", dir}, // negative shard count
+		{"-spec", spec, "-shards", "-1", "-shard-out", dir},                                           // negative count on the spec path too
+		{"-scenarios", "-run-shard", "x.json"},                                                        // list mode ignores every other flag
+		{"-scenarios", "-shards", "2", "-shard-out", dir},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want conflict error", args)
+		}
+	}
+	if err := run([]string{"-merge", dir}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no *.result.json") {
+		t.Errorf("merge of a result-less directory: %v", err)
+	}
+}

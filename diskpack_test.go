@@ -1,6 +1,8 @@
 package diskpack
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -99,5 +101,75 @@ func TestItemsFromTraceRejectsOversize(t *testing.T) {
 	}
 	if _, err := ItemsFromTrace(tr, DefaultDiskParams(), 0.5); err == nil {
 		t.Fatal("oversize file accepted")
+	}
+}
+
+// TestShardSweepPublicAPI exercises the distributed-sweep surface end
+// to end through the root package: shard a grid, run the shards through
+// the JSON codecs, merge, and require equality with RunSweep.
+func TestShardSweepPublicAPI(t *testing.T) {
+	wl := Table1Workload(2, 0)
+	wl.NumFiles = 300
+	wl.MinSize = wl.MinSize / 125
+	wl.MaxSize = wl.MaxSize / 125
+	sweep := FarmSweep{
+		Name: "api-grid",
+		Base: FarmSpec{
+			Name:     "api-grid",
+			Workload: SyntheticFarmWorkload(wl),
+			Alloc:    PackedAlloc(0.7),
+		},
+		Axes:   []FarmAxis{{Kind: AxisSpinThreshold, Values: []float64{30, 600}}},
+		Select: FarmSelector{Kind: SelectKnee},
+	}
+	direct, err := RunSweep(sweep, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ShardSweep(sweep, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []FarmShardResult
+	for _, m := range shards {
+		var buf bytes.Buffer
+		if err := EncodeSweepShard(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeSweepShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSweepShard(*dec, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := EncodeSweepShardResult(&buf, *res); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeSweepShardResult(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, *back)
+	}
+	merged, err := MergeSweep(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("merged shard results differ from the single-process sweep")
+	}
+	if merged.Best < 0 {
+		t.Fatal("merged sweep selected no operating point")
 	}
 }

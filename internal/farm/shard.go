@@ -1,0 +1,404 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sharded sweeps: the distributed layer over the grid engine. A Sweep's
+// compiled point list is a set of independent pure functions of
+// (spec, seed), so a grid too large for one machine splits cleanly:
+// Shard partitions the points into self-contained JSON manifests,
+// RunShard executes one manifest anywhere (reusing a prior partial
+// result — the resume path), and Merge recombines the result files into
+// the exact SweepResult a single-process RunSweep would have returned —
+// byte-identical regardless of shard count, machine, or completion
+// order. Custom axes carry Go functions and cannot be sharded, the same
+// restriction persist.go puts on scenario files.
+
+// ShardPoint names one grid point owned by a shard manifest.
+type ShardPoint struct {
+	// Index is the point's position in the compiled grid (Sweep.Points
+	// order) — the key results are merged by.
+	Index int
+	// Label echoes the compiled point's label, an integrity check
+	// against running a manifest on a diverged engine build.
+	Label string
+	// SeedOffset is added to the manifest seed when the point runs, so
+	// a shard reproduces exactly the seeds the whole grid would use.
+	SeedOffset int64 `json:",omitempty"`
+}
+
+// ShardManifest is one self-contained unit of a sharded sweep: the full
+// grid declaration plus the subset of points this shard owns. A worker
+// machine needs nothing else — no flags, no scenario registry entry.
+type ShardManifest struct {
+	// Index and Count place the shard in its family: Index in [0, Count).
+	Index int
+	Count int
+	// Seed is the sweep seed every shard of the family must share.
+	Seed int64
+	// Sweep is the complete grid declaration (base spec, axes, selector).
+	Sweep Sweep
+	// Points is this shard's subset, ascending by Index. Round-robin
+	// interleaving balances cost gradients along the fast axis; a shard
+	// may be empty when Count exceeds the grid size.
+	Points []ShardPoint
+}
+
+// Validate reports the first structural inconsistency. Agreement with
+// the compiled grid is checked by RunShard, which compiles the points
+// anyway.
+func (m ShardManifest) Validate() error {
+	if m.Count < 1 {
+		return fmt.Errorf("farm: shard count %d must be >= 1", m.Count)
+	}
+	if m.Index < 0 || m.Index >= m.Count {
+		return fmt.Errorf("farm: shard index %d outside [0,%d)", m.Index, m.Count)
+	}
+	if err := shardableSweep(m.Sweep); err != nil {
+		return err
+	}
+	n := m.Sweep.NumPoints()
+	last := -1
+	for _, p := range m.Points {
+		if p.Index <= last {
+			return fmt.Errorf("farm: shard %d points out of order at index %d", m.Index, p.Index)
+		}
+		if p.Index >= n {
+			return fmt.Errorf("farm: shard %d point index %d outside the %d-point grid", m.Index, p.Index, n)
+		}
+		last = p.Index
+	}
+	return nil
+}
+
+// shardableSweep rejects sweeps that cannot round-trip through a shard
+// family: custom axes carry Go functions JSON cannot represent.
+func shardableSweep(s Sweep) error {
+	for _, a := range s.Axes {
+		if a.Kind == AxisCustom {
+			return fmt.Errorf("farm: custom axes cannot be sharded (the Apply function does not serialize)")
+		}
+	}
+	return s.Validate()
+}
+
+// Shard partitions the sweep's compiled grid into n self-contained
+// manifests, round-robin: point i goes to shard i mod n, so systematic
+// cost gradients along an axis spread evenly across shards. Every
+// manifest carries the whole sweep declaration; the union of the
+// manifests' points is exactly the grid.
+func Shard(sweep Sweep, seed int64, n int) ([]ShardManifest, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("farm: shard count %d must be >= 1", n)
+	}
+	if err := shardableSweep(sweep); err != nil {
+		return nil, err
+	}
+	points, err := sweep.Points()
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]ShardManifest, n)
+	for i := range shards {
+		shards[i] = ShardManifest{Index: i, Count: n, Seed: seed, Sweep: sweep}
+	}
+	for i := range points {
+		s := &shards[i%n]
+		s.Points = append(s.Points, ShardPoint{
+			Index:      i,
+			Label:      points[i].Label,
+			SeedOffset: points[i].SeedOffset,
+		})
+	}
+	return shards, nil
+}
+
+// ShardPointResult is one completed grid point: Metrics for simulated
+// sweeps, Alloc for plan-only ones.
+type ShardPointResult struct {
+	Index   int
+	Label   string
+	Metrics *Metrics    `json:",omitempty"`
+	Alloc   *Allocation `json:",omitempty"`
+}
+
+// ShardResult is the output of running one shard. It repeats the
+// manifest's identity and sweep declaration so a merge needs only the
+// result files — nothing from the planning machine.
+type ShardResult struct {
+	Index  int
+	Count  int
+	Seed   int64
+	Sweep  Sweep
+	Points []ShardPointResult
+}
+
+// Validate reports the first structural inconsistency. Points without a
+// payload are tolerated — a partial file is exactly what the resume
+// path consumes — but Merge requires every point filled.
+func (r ShardResult) Validate() error {
+	if r.Count < 1 {
+		return fmt.Errorf("farm: shard count %d must be >= 1", r.Count)
+	}
+	if r.Index < 0 || r.Index >= r.Count {
+		return fmt.Errorf("farm: shard index %d outside [0,%d)", r.Index, r.Count)
+	}
+	if err := shardableSweep(r.Sweep); err != nil {
+		return err
+	}
+	n := r.Sweep.NumPoints()
+	last := -1
+	for _, p := range r.Points {
+		if p.Index <= last {
+			return fmt.Errorf("farm: shard %d results out of order at index %d", r.Index, p.Index)
+		}
+		if p.Index >= n {
+			return fmt.Errorf("farm: shard %d result index %d outside the %d-point grid", r.Index, p.Index, n)
+		}
+		if p.Metrics != nil && p.Alloc != nil {
+			return fmt.Errorf("farm: shard %d result %d carries both metrics and an allocation", r.Index, p.Index)
+		}
+		last = p.Index
+	}
+	return nil
+}
+
+// complete reports whether the point carries the payload the sweep's
+// mode calls for.
+func (p ShardPointResult) complete(planOnly bool) bool {
+	if planOnly {
+		return p.Alloc != nil
+	}
+	return p.Metrics != nil
+}
+
+// RunShard executes the manifest's points with up to workers goroutines
+// (0 = GOMAXPROCS), exactly as RunSweep would have run them: the same
+// derived spec, the same seed + SeedOffset. prior, when non-nil, is a
+// previous (possibly partial) result of the same shard; its completed
+// points are reused instead of re-run, which is how an interrupted
+// shard resumes. The manifest is cross-checked against the locally
+// compiled grid so a stale manifest fails loudly rather than merging
+// silently wrong numbers.
+func RunShard(m ShardManifest, prior *ShardResult, workers int) (*ShardResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	points, err := m.Sweep.Points()
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range m.Points {
+		p := &points[sp.Index]
+		if p.Label != sp.Label || p.SeedOffset != sp.SeedOffset {
+			return nil, fmt.Errorf("farm: shard %d/%d point %d (%q, seed offset %d) does not match the compiled grid (%q, %d) — manifest from a diverged build?",
+				m.Index, m.Count, sp.Index, sp.Label, sp.SeedOffset, p.Label, p.SeedOffset)
+		}
+	}
+	reuse := make(map[int]ShardPointResult)
+	if prior != nil {
+		if err := prior.Validate(); err != nil {
+			return nil, fmt.Errorf("farm: prior shard result: %w", err)
+		}
+		if prior.Index != m.Index || prior.Count != m.Count || prior.Seed != m.Seed {
+			return nil, fmt.Errorf("farm: prior result is shard %d/%d seed %d, manifest is shard %d/%d seed %d",
+				prior.Index, prior.Count, prior.Seed, m.Index, m.Count, m.Seed)
+		}
+		// Identity fields and labels can all collide across edits of the
+		// base spec (labels encode only the axis values), so the whole
+		// sweep declaration must match before any point is reused.
+		mSweep, err := json.Marshal(m.Sweep)
+		if err != nil {
+			return nil, fmt.Errorf("farm: shard %d/%d: %w", m.Index, m.Count, err)
+		}
+		pSweep, err := json.Marshal(prior.Sweep)
+		if err != nil {
+			return nil, fmt.Errorf("farm: prior shard result: %w", err)
+		}
+		if !bytes.Equal(mSweep, pSweep) {
+			return nil, fmt.Errorf("farm: prior result was computed from a different sweep than the manifest — delete it to start over")
+		}
+		for _, pr := range prior.Points {
+			if !pr.complete(m.Sweep.PlanOnly) {
+				continue
+			}
+			if pr.Index < len(points) && points[pr.Index].Label != pr.Label {
+				return nil, fmt.Errorf("farm: prior result point %d is %q, grid says %q — result from a different grid?",
+					pr.Index, pr.Label, points[pr.Index].Label)
+			}
+			reuse[pr.Index] = pr
+		}
+	}
+	out := &ShardResult{
+		Index:  m.Index,
+		Count:  m.Count,
+		Seed:   m.Seed,
+		Sweep:  m.Sweep,
+		Points: make([]ShardPointResult, len(m.Points)),
+	}
+	err = parallelFor(len(m.Points), poolSize(workers), func(i int) error {
+		sp := m.Points[i]
+		if pr, ok := reuse[sp.Index]; ok {
+			out.Points[i] = pr
+			return nil
+		}
+		p := &points[sp.Index]
+		res := ShardPointResult{Index: sp.Index, Label: sp.Label}
+		var err error
+		if m.Sweep.PlanOnly {
+			res.Alloc, err = Plan(p.Spec, m.Seed+p.SeedOffset)
+		} else {
+			res.Metrics, err = Run(p.Spec, m.Seed+p.SeedOffset)
+		}
+		if err != nil {
+			return fmt.Errorf("farm: shard %d/%d point %s: %w", m.Index, m.Count, sp.Label, err)
+		}
+		out.Points[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Reused counts the manifest's points a prior result would satisfy —
+// what RunShard will skip on resume.
+func (m ShardManifest) Reused(prior *ShardResult) int {
+	if prior == nil {
+		return 0
+	}
+	owned := make(map[int]bool, len(m.Points))
+	for _, p := range m.Points {
+		owned[p.Index] = true
+	}
+	n := 0
+	for _, pr := range prior.Points {
+		if owned[pr.Index] && pr.complete(m.Sweep.PlanOnly) {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge recombines shard results — in any order, but all from one
+// shard family (same sweep, seed, and count) and together covering the
+// grid exactly once — into the SweepResult a single-process
+// RunSweep(sweep, seed, workers) would have produced, byte for byte:
+// points are recompiled from the shared sweep declaration, results
+// slotted in by index, and the selector applied to the completed grid.
+func Merge(results []ShardResult) (*SweepResult, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("farm: merge of zero shard results")
+	}
+	ref := &results[0]
+	refSweep, err := json.Marshal(ref.Sweep)
+	if err != nil {
+		return nil, fmt.Errorf("farm: merge: %w", err)
+	}
+	for i := range results {
+		r := &results[i]
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("farm: merge input %d: %w", i, err)
+		}
+		if r.Seed != ref.Seed || r.Count != ref.Count {
+			return nil, fmt.Errorf("farm: merge input %d is shard %d/%d seed %d, input 0 is shard %d/%d seed %d — results from different runs?",
+				i, r.Index, r.Count, r.Seed, ref.Index, ref.Count, ref.Seed)
+		}
+		if i > 0 {
+			sw, err := json.Marshal(r.Sweep)
+			if err != nil {
+				return nil, fmt.Errorf("farm: merge input %d: %w", i, err)
+			}
+			if string(sw) != string(refSweep) {
+				return nil, fmt.Errorf("farm: merge input %d declares a different sweep than input 0", i)
+			}
+		}
+	}
+	points, err := ref.Sweep.Points()
+	if err != nil {
+		return nil, err
+	}
+	filled := make([]bool, len(points))
+	for i := range results {
+		for _, pr := range results[i].Points {
+			if pr.Index >= len(points) {
+				return nil, fmt.Errorf("farm: merge input %d result index %d outside the %d-point grid", i, pr.Index, len(points))
+			}
+			if filled[pr.Index] {
+				return nil, fmt.Errorf("farm: point %d (%s) appears in more than one shard result", pr.Index, pr.Label)
+			}
+			p := &points[pr.Index]
+			if p.Label != pr.Label {
+				return nil, fmt.Errorf("farm: merge input %d point %d is %q, grid says %q — result from a different grid?",
+					i, pr.Index, pr.Label, p.Label)
+			}
+			if !pr.complete(ref.Sweep.PlanOnly) {
+				return nil, fmt.Errorf("farm: point %d (%s) is incomplete — re-run its shard to resume it", pr.Index, pr.Label)
+			}
+			p.Metrics, p.Alloc = pr.Metrics, pr.Alloc
+			filled[pr.Index] = true
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("farm: merge is missing point %d (%s) — did every shard run?", i, points[i].Label)
+		}
+	}
+	res := &SweepResult{Sweep: ref.Sweep, Points: points}
+	res.Best, res.Front = ref.Sweep.Select.pick(points)
+	return res, nil
+}
+
+// EncodeShard writes a manifest as indented JSON.
+func EncodeShard(w io.Writer, m ShardManifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// DecodeShard reads and validates a shard manifest.
+func DecodeShard(r io.Reader) (*ShardManifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m ShardManifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("farm: decoding shard manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// EncodeShardResult writes a shard result as indented JSON.
+func EncodeShardResult(w io.Writer, r ShardResult) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeShardResult reads and validates a shard result file (possibly
+// partial — the resume input).
+func DecodeShardResult(r io.Reader) (*ShardResult, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sr ShardResult
+	if err := dec.Decode(&sr); err != nil {
+		return nil, fmt.Errorf("farm: decoding shard result: %w", err)
+	}
+	if err := sr.Validate(); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}

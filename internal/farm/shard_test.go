@@ -1,0 +1,327 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// resultJSON canonicalizes a sweep result for byte comparison: if two
+// results marshal to the same bytes, every point's spec, metrics (down
+// to the per-disk breakdowns), and the selector's verdict are equal.
+func resultJSON(t *testing.T, res *SweepResult) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// roundTripShard pushes a manifest through its JSON codec, as the CLI
+// does between the planning and the worker machine.
+func roundTripShard(t *testing.T, m ShardManifest) ShardManifest {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeShard(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *dec
+}
+
+// roundTripResult pushes a shard result through its JSON codec, as the
+// CLI does between the worker and the merging machine.
+func roundTripResult(t *testing.T, r ShardResult) ShardResult {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeShardResult(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeShardResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *dec
+}
+
+func TestShardPartition(t *testing.T) {
+	sweep := fixtureSweep() // 6 points
+	for _, n := range []int{1, 2, 3, 7} {
+		shards, err := Shard(sweep, 9, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != n {
+			t.Fatalf("Shard(.., %d) returned %d manifests", n, len(shards))
+		}
+		seen := make(map[int]int)
+		for i, m := range shards {
+			if m.Index != i || m.Count != n || m.Seed != 9 {
+				t.Fatalf("shard %d identity = %d/%d seed %d", i, m.Index, m.Count, m.Seed)
+			}
+			for _, p := range m.Points {
+				if p.Index%n != i {
+					t.Errorf("point %d on shard %d, want round-robin shard %d", p.Index, i, p.Index%n)
+				}
+				seen[p.Index]++
+			}
+		}
+		if len(seen) != sweep.NumPoints() {
+			t.Fatalf("n=%d covers %d of %d points", n, len(seen), sweep.NumPoints())
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d point %d owned by %d shards", n, idx, c)
+			}
+		}
+		// n=7 over 6 points leaves the last shard empty; it must still
+		// round-trip and run.
+		if n > sweep.NumPoints() && len(shards[n-1].Points) != 0 {
+			t.Errorf("shard %d of %d should be empty, has %d points", n-1, n, len(shards[n-1].Points))
+		}
+	}
+}
+
+// TestShardMergeByteIdentical is the core guarantee: for several shard
+// counts, running every manifest (through the JSON codecs, in reverse
+// order) and merging the results (in rotated order) reproduces the
+// single-process RunSweep result byte for byte.
+func TestShardMergeByteIdentical(t *testing.T) {
+	sweep := fixtureSweep()
+	sweep.Select = Selector{Kind: SelectKnee}
+	direct, err := RunSweep(sweep, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, direct)
+	for _, n := range []int{1, 2, 3, 7} {
+		shards, err := Shard(sweep, 9, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run shards in reverse — completion order must not matter.
+		results := make([]ShardResult, n)
+		for i := n - 1; i >= 0; i-- {
+			m := roundTripShard(t, shards[i])
+			res, err := RunShard(m, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[i] = roundTripResult(t, *res)
+		}
+		// Merge in rotated order — input order must not matter either.
+		rotated := append(append([]ShardResult(nil), results[n/2:]...), results[:n/2]...)
+		merged, err := Merge(rotated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultJSON(t, merged); got != want {
+			t.Fatalf("n=%d: merged result differs from single-process RunSweep", n)
+		}
+	}
+}
+
+func TestShardPlanOnlyMerge(t *testing.T) {
+	sweep := Sweep{
+		Name: "plan",
+		Base: Spec{Workload: testSpec().Workload, Alloc: AllocSpec{Kind: AllocPack, V: 4}},
+		Axes: []Axis{
+			{Kind: AxisCapL, Values: []float64{0.5, 0.8}},
+			{Kind: AxisAllocKind, Values: []float64{float64(AllocPack), float64(AllocFirstFit)}},
+		},
+		PlanOnly: true,
+	}
+	direct, err := RunSweep(sweep, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := Shard(sweep, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []ShardResult
+	for _, m := range shards {
+		res, err := RunShard(m, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Metrics != nil || p.Alloc == nil {
+				t.Fatalf("plan-only shard point %s payload: metrics=%v alloc=%v", p.Label, p.Metrics, p.Alloc)
+			}
+		}
+		results = append(results, *res)
+	}
+	merged, err := Merge(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultJSON(t, merged) != resultJSON(t, direct) {
+		t.Fatal("plan-only merge differs from single-process RunSweep")
+	}
+}
+
+// TestShardResume pins the resume semantics: points already present in
+// a prior (partial) result are reused verbatim — proven by doctoring a
+// prior metric and watching the sentinel survive — and only the missing
+// points are recomputed.
+func TestShardResume(t *testing.T) {
+	sweep := fixtureSweep()
+	shards, err := Shard(sweep, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shards[0]
+	full, err := RunShard(m, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Points) < 2 {
+		t.Fatalf("fixture shard too small to test resume: %d points", len(full.Points))
+	}
+
+	// A partial file holding only the first point, with a sentinel
+	// energy value no simulation would produce.
+	partial := *full
+	partial.Points = []ShardPointResult{full.Points[0]}
+	doctored := *partial.Points[0].Metrics
+	doctored.Energy = 123456789
+	partial.Points[0].Metrics = &doctored
+	partial = roundTripResult(t, partial)
+
+	resumed, err := RunShard(m, &partial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reused(&partial); got != 1 {
+		t.Errorf("Reused = %d, want 1", got)
+	}
+	if len(resumed.Points) != len(full.Points) {
+		t.Fatalf("resume produced %d points, want %d", len(resumed.Points), len(full.Points))
+	}
+	if resumed.Points[0].Metrics.Energy != 123456789 {
+		t.Errorf("resume re-ran point %d instead of reusing the prior result", resumed.Points[0].Index)
+	}
+	for i := 1; i < len(full.Points); i++ {
+		if fingerprint(resumed.Points[i].Metrics) != fingerprint(full.Points[i].Metrics) {
+			t.Errorf("resumed point %d differs from the fresh run", resumed.Points[i].Index)
+		}
+	}
+
+	// A prior whose label disagrees with the grid is a stale file from
+	// some other sweep — refuse it rather than merge wrong numbers.
+	stale := *full
+	stale.Points = append([]ShardPointResult(nil), full.Points...)
+	stale.Points[0].Label = "threshold=999s farm=8"
+	if _, err := RunShard(m, &stale, 0); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Errorf("stale prior accepted: %v", err)
+	}
+	// A prior from another seed must be refused too.
+	wrongSeed := *full
+	wrongSeed.Seed = 10
+	if _, err := RunShard(m, &wrongSeed, 0); err == nil {
+		t.Error("prior with mismatched seed accepted")
+	}
+	// A prior whose identity fields and labels all match but whose base
+	// spec was edited between runs carries numbers from the old spec —
+	// the whole sweep declaration must match before anything is reused.
+	wrongSpec := *full
+	wrongSpec.Sweep.Base.CacheBytes = 1 << 30
+	if _, err := RunShard(m, &wrongSpec, 0); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("prior from an edited base spec accepted: %v", err)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	sweep := fixtureSweep()
+	if _, err := Shard(sweep, 1, 0); err == nil {
+		t.Error("Shard with n=0 accepted")
+	}
+	custom := sweep
+	custom.Axes = append(custom.Axes, Axis{Kind: AxisCustom, Labels: []string{"a"},
+		Apply: func(*Spec, int, []int) error { return nil }})
+	if _, err := Shard(custom, 1, 2); err == nil || !strings.Contains(err.Error(), "custom axes") {
+		t.Errorf("custom-axis sweep sharded: %v", err)
+	}
+
+	shards, err := Shard(sweep, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tampered manifest must not run.
+	tampered := shards[0]
+	tampered.Points = append([]ShardPoint(nil), shards[0].Points...)
+	tampered.Points[0].SeedOffset = 999
+	if _, err := RunShard(tampered, nil, 0); err == nil || !strings.Contains(err.Error(), "compiled grid") {
+		t.Errorf("tampered manifest ran: %v", err)
+	}
+
+	r0, err := RunShard(shards[0], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RunShard(shards[1], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing shard: the error must name the first uncovered point.
+	if _, err := Merge([]ShardResult{*r0}); err == nil || !strings.Contains(err.Error(), "missing point") {
+		t.Errorf("incomplete merge accepted: %v", err)
+	}
+	// Duplicated shard: same point twice.
+	if _, err := Merge([]ShardResult{*r0, *r1, *r0}); err == nil || !strings.Contains(err.Error(), "more than one") {
+		t.Errorf("duplicate merge accepted: %v", err)
+	}
+	// Mixed seeds: results from different runs must not combine.
+	other := *r1
+	other.Seed = 10
+	if _, err := Merge([]ShardResult{*r0, other}); err == nil || !strings.Contains(err.Error(), "different runs") {
+		t.Errorf("mixed-seed merge accepted: %v", err)
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestShardFileValidation(t *testing.T) {
+	if _, err := DecodeShard(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown manifest field decoded")
+	}
+	if _, err := DecodeShardResult(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown result field decoded")
+	}
+	if _, err := DecodeShard(strings.NewReader(`{"Index": 2, "Count": 1}`)); err == nil {
+		t.Error("out-of-range shard index decoded")
+	}
+	var buf bytes.Buffer
+	if err := EncodeShard(&buf, ShardManifest{Index: 0, Count: 0, Sweep: fixtureSweep()}); err == nil {
+		t.Error("zero-count manifest encoded")
+	}
+}
+
+func TestSweepReselect(t *testing.T) {
+	res, err := RunSweep(fixtureSweep(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != -1 {
+		t.Fatalf("selector-less sweep picked %d", res.Best)
+	}
+	if err := res.Reselect(Selector{Kind: SelectMinEnergySLO, MaxP95: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best < 0 {
+		t.Error("Reselect with an unbounded SLO picked nothing")
+	}
+	if res.Sweep.Select.Kind != SelectMinEnergySLO {
+		t.Error("Reselect did not record the new rule")
+	}
+	if err := res.Reselect(Selector{Kind: SelectMinEnergySLO}); err == nil {
+		t.Error("Reselect accepted an SLO selector without a budget")
+	}
+}

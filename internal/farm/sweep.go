@@ -511,6 +511,18 @@ type SweepResult struct {
 	Front []int
 }
 
+// Reselect applies a different operating-point rule to a completed
+// grid, replacing the sweep's own selector — how cmd/disksim applies
+// -select after merging shard results.
+func (r *SweepResult) Reselect(sel Selector) error {
+	if err := sel.validate(); err != nil {
+		return err
+	}
+	r.Sweep.Select = sel
+	r.Best, r.Front = sel.pick(r.Points)
+	return nil
+}
+
 // At returns the point at the given per-axis coordinate.
 func (r *SweepResult) At(coord ...int) *Point {
 	if len(coord) != len(r.Sweep.Axes) {
@@ -537,10 +549,7 @@ func RunSweep(sweep Sweep, seed int64, workers int) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	err = parallelFor(len(points), workers, func(i int) error {
+	err = parallelFor(len(points), poolSize(workers), func(i int) error {
 		p := &points[i]
 		var err error
 		if sweep.PlanOnly {
@@ -559,6 +568,15 @@ func RunSweep(sweep Sweep, seed int64, workers int) (*SweepResult, error) {
 	res := &SweepResult{Sweep: sweep, Points: points}
 	res.Best, res.Front = sweep.Select.pick(points)
 	return res, nil
+}
+
+// poolSize resolves a worker-count flag: non-positive means one worker
+// per core.
+func poolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
 }
 
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines

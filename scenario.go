@@ -47,6 +47,11 @@ type (
 	FarmSweepResult = farm.SweepResult
 	// FarmFile is the JSON scenario document (one Spec or one Sweep).
 	FarmFile = farm.File
+	// FarmShard is one self-contained unit of a sharded sweep: the full
+	// grid declaration plus the point subset one machine runs.
+	FarmShard = farm.ShardManifest
+	// FarmShardResult is the JSON result of running one shard.
+	FarmShardResult = farm.ShardResult
 )
 
 // Workload-source constructors.
@@ -144,6 +149,50 @@ func RunScenario(name string, seed int64) (*FarmScenarioResult, error) {
 // worker count; the sweep's selector picks the operating point(s).
 func RunSweep(sweep FarmSweep, seed int64, workers int) (*FarmSweepResult, error) {
 	return farm.RunSweep(sweep, seed, workers)
+}
+
+// ShardSweep splits a sweep's compiled grid into n self-contained shard
+// manifests (round-robin over the point list, each carrying the full
+// sweep declaration and per-point seeds). Run each anywhere with
+// RunSweepShard and recombine with MergeSweep; the merged result is
+// byte-identical to RunSweep(sweep, seed, workers) for any n.
+func ShardSweep(sweep FarmSweep, seed int64, n int) ([]FarmShard, error) {
+	return farm.Shard(sweep, seed, n)
+}
+
+// RunSweepShard executes one shard manifest with up to workers
+// goroutines. prior, when non-nil, is a previous (possibly partial)
+// result of the same shard whose completed points are reused instead of
+// re-run — the resume path.
+func RunSweepShard(m FarmShard, prior *FarmShardResult, workers int) (*FarmShardResult, error) {
+	return farm.RunShard(m, prior, workers)
+}
+
+// MergeSweep recombines shard results — in any order — into the exact
+// SweepResult a single-process RunSweep would have produced, erroring
+// on missing, duplicated, or mismatched points.
+func MergeSweep(results []FarmShardResult) (*FarmSweepResult, error) {
+	return farm.Merge(results)
+}
+
+// EncodeSweepShard writes a shard manifest as JSON; DecodeSweepShard
+// reads one back. cmd/disksim produces and consumes these files via
+// -shards/-run-shard.
+func EncodeSweepShard(w io.Writer, m FarmShard) error { return farm.EncodeShard(w, m) }
+
+// DecodeSweepShard reads and validates a shard manifest.
+func DecodeSweepShard(r io.Reader) (*FarmShard, error) { return farm.DecodeShard(r) }
+
+// EncodeSweepShardResult writes a shard result as JSON;
+// DecodeSweepShardResult reads one back (possibly partial — the resume
+// input).
+func EncodeSweepShardResult(w io.Writer, res FarmShardResult) error {
+	return farm.EncodeShardResult(w, res)
+}
+
+// DecodeSweepShardResult reads and validates a shard result file.
+func DecodeSweepShardResult(r io.Reader) (*FarmShardResult, error) {
+	return farm.DecodeShardResult(r)
 }
 
 // ParseSweepAxis parses the "dim=v1,v2,..." axis grammar shared with
