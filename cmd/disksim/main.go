@@ -34,19 +34,36 @@
 //	disksim -scenario paper-synth -sweep threshold=30,300 -shards 3 -shard-out grid/
 //	disksim -run-shard grid/shard-000.json        # on any machine
 //	disksim -merge grid/ -select knee
+//
+// Or skip static partitioning entirely: -serve turns the grid into a
+// work-stealing coordinator and any number of -work machines join,
+// leave, or die mid-run. Leases expire and re-queue, completed points
+// journal to disk as they land, and the final report is byte-identical
+// to the single-process run:
+//
+//	disksim -scenario paper-synth -sweep threshold=30,300 -serve :9931 -journal sweep.journal
+//	disksim -work http://coordinator:9931 -workers 8     # on any machine, any time
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
+	"diskpack/internal/coord"
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
 	"diskpack/internal/trace"
@@ -107,6 +124,12 @@ func run(args []string, out io.Writer) error {
 		runShard    = fs.String("run-shard", "", "execute one shard manifest file and write its result file")
 		shardResult = fs.String("shard-result", "", "result file for -run-shard (default: manifest path with .result.json)")
 		mergeDir    = fs.String("merge", "", "merge shard result files (*.result.json) from a directory and report the sweep")
+		serveAddr   = fs.String("serve", "", "serve the grid as a work-stealing coordinator on ADDR (e.g. :9931) and report when it drains")
+		workURL     = fs.String("work", "", "join a coordinator as a pull-based worker (URL, e.g. http://host:9931)")
+		workerName  = fs.String("name", "", "worker name for -work (default <hostname>-<pid>)")
+		journalPath = fs.String("journal", "", "coordinator crash journal for -serve: completed points append here; restart with the same flags to resume")
+		leaseD      = fs.Duration("lease", time.Minute, "coordinator lease: how long a worker may hold a point without a heartbeat before it re-queues")
+		batchN      = fs.Int("batch", 4, "coordinator batch: max points handed out per lease request")
 		verbose     = fs.Bool("v", false, "per-disk breakdown")
 	)
 	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed)")
@@ -126,6 +149,14 @@ func run(args []string, out io.Writer) error {
 	var visited []string
 	fs.Visit(func(f *flag.Flag) { visited = append(visited, f.Name) })
 	sort.Strings(visited)
+	wasSet := func(name string) bool {
+		for _, v := range visited {
+			if v == name {
+				return true
+			}
+		}
+		return false
+	}
 	// onlyFlags rejects any explicitly-set flag outside the mode's
 	// allowlist: a flag the mode would silently ignore must fail loudly
 	// instead.
@@ -161,6 +192,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Pool-size and coordinator knobs fail loudly on nonsense instead of
+	// clamping or spinning: a negative pool would silently serialize, a
+	// zero batch would make every lease empty.
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: valid values are >= 1 (or 0 for one worker per core)", *workers)
+	}
+
 	if *list {
 		if err := onlyFlags("scenarios", "it only lists the catalogue"); err != nil {
 			return err
@@ -171,6 +209,49 @@ func run(args []string, out io.Writer) error {
 
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d must be >= 1", *shards)
+	}
+	if *workURL != "" {
+		if err := onlyFlags("work",
+			"a worker pulls everything from the coordinator; it takes only -workers and -name",
+			"workers", "name"); err != nil {
+			return err
+		}
+		return workSweep(*workURL, *workerName, *workers, out)
+	}
+	// Like the coordinator knobs below, the worker's name must not
+	// outlive its mode: silently ignored flags would look like they
+	// took effect.
+	if wasSet("name") {
+		return fmt.Errorf("-name needs -work URL")
+	}
+	if *serveAddr != "" {
+		if *leaseD < time.Second {
+			return fmt.Errorf("-lease %v: valid values are >= 1s (workers heartbeat at a third of the lease)", *leaseD)
+		}
+		if *batchN < 1 {
+			return fmt.Errorf("-batch %d: valid values are >= 1", *batchN)
+		}
+		for _, conflict := range []struct {
+			set  bool
+			name string
+			why  string
+		}{
+			{*shards > 0, "shards", "static manifests and a work-stealing pool are different distribution modes: pick one"},
+			{*specOut != "", "spec-out", "-spec-out writes files and exits; -serve runs the grid"},
+			{wasSet("workers"), "workers", "the -work machines run the points; size the pool there"},
+		} {
+			if conflict.set {
+				return fmt.Errorf("-serve cannot be combined with -%s: %s", conflict.name, conflict.why)
+			}
+		}
+	} else {
+		// The coordinator knobs must not outlive their mode: silently
+		// ignored flags would look like they took effect.
+		for _, name := range []string{"journal", "lease", "batch"} {
+			if wasSet(name) {
+				return fmt.Errorf("-%s needs -serve ADDR", name)
+			}
+		}
 	}
 	if *runShard != "" {
 		if err := onlyFlags("run-shard",
@@ -219,6 +300,12 @@ func run(args []string, out io.Writer) error {
 			}
 			return writeShards(*doc.Sweep, *seed, *shards, *shardOut, out)
 		}
+		if *serveAddr != "" {
+			if doc.Sweep == nil {
+				return fmt.Errorf("-serve needs a grid: %s holds a single Spec, not a Sweep", *specIn)
+			}
+			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *verbose)
+		}
 		if doc.Sweep != nil {
 			return runSweep(out, *doc.Sweep, *seed, *workers, *verbose)
 		}
@@ -238,7 +325,7 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown scenario %q (use -scenarios to list)", *scenario)
 		}
-		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 {
+		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 && *serveAddr == "" {
 			res, err := farm.RunScenario(*scenario, *seed)
 			if err != nil {
 				return err
@@ -296,6 +383,13 @@ func run(args []string, out io.Writer) error {
 		}
 		return writeShards(farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
 			*seed, *shards, *shardOut, out)
+	}
+	if *serveAddr != "" {
+		if len(axes) == 0 {
+			return fmt.Errorf("-serve needs a grid: add -sweep axes or use a sweep scenario/spec")
+		}
+		return serveSweep(out, farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
+			*seed, *serveAddr, *journalPath, *leaseD, *batchN, *verbose)
 	}
 
 	if *specOut != "" {
@@ -374,10 +468,82 @@ func writeShards(sweep farm.Sweep, seed int64, n int, dir string, out io.Writer)
 	return nil
 }
 
+// interruptContext is the graceful-shutdown seam of the long-running
+// modes (-serve, -work, -run-shard): SIGINT/SIGTERM cancel the context,
+// so in-flight points finish, journals and partial results land on
+// disk, and the exit is non-zero instead of a mid-write kill.
+func interruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Deregister on the first signal: the graceful path is running, and
+	// the next Ctrl-C must terminate by default delivery instead of
+	// being swallowed while in-flight points wind down.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// serveSweep runs the grid as a work-stealing coordinator and prints
+// the drained report — byte-identical to runSweep of the same grid.
+// Progress goes to stderr so the report stays diffable.
+func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal string, lease time.Duration, batch int, verbose bool) error {
+	ctx, stop := interruptContext()
+	defer stop()
+	res, err := coord.Serve(ctx, sweep, seed, addr, coord.Config{
+		LeaseTimeout: lease,
+		BatchSize:    batch,
+		JournalPath:  journal,
+		OnListen: func(a net.Addr) {
+			fmt.Fprintf(os.Stderr, "disksim: coordinator serving %d points on %s\n", sweep.NumPoints(), a)
+		},
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if journal != "" {
+				return fmt.Errorf("interrupted — journal %s holds every completed point; restart -serve with the same flags to resume", journal)
+			}
+			return fmt.Errorf("interrupted — completed points are lost (set -journal to make -serve resumable)")
+		}
+		return err
+	}
+	printSweep(out, res, verbose)
+	// The report is out; the journal — the drained grid's only durable
+	// copy until now — has served its purpose. A cleanup failure must
+	// not fail the run; the stale journal is harmless (a restart on it
+	// drains instantly, its points all being done).
+	if journal != "" {
+		if rerr := os.Remove(journal); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "disksim: warning: removing journal %s: %v (the report above is complete)\n", journal, rerr)
+		}
+	}
+	return nil
+}
+
+// workSweep joins a coordinator and pulls points until the grid drains.
+func workSweep(url, name string, workers int, out io.Writer) error {
+	ctx, stop := interruptContext()
+	defer stop()
+	stats, err := coord.Work(ctx, url, coord.WorkerConfig{Name: name, Parallel: workers})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("worker %s interrupted after %d points — its leases will expire and re-queue at the coordinator", stats.Worker, stats.Points)
+		}
+		return err
+	}
+	fmt.Fprintf(out, "worker %s: %d points computed\n", stats.Worker, stats.Points)
+	return nil
+}
+
 // runShardFile executes one manifest to its result file. An existing
 // result file is the resume input: points it already holds are reused,
-// only the rest run.
+// only the rest run. While the shard runs, every completed point
+// journals to <result>.partial — synced as it lands — so a crash or an
+// interrupt loses at most one point; the journal is deleted once the
+// final result file is durably in place.
 func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) error {
+	ctx, stop := interruptContext()
+	defer stop()
 	if resultPath == "" {
 		resultPath = resultPathFor(manifestPath)
 	}
@@ -400,9 +566,19 @@ func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) e
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	reused := m.Reused(prior)
-	res, err := farm.RunShard(*m, prior, workers)
+	partialPath := resultPath + ".partial"
+	journal, journaled, err := farm.OpenPointJournal(partialPath, m.Sweep, m.Seed)
 	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	prior = priorWithJournal(m, prior, journaled)
+	reused := m.Reused(prior)
+	res, err := farm.RunShardStream(ctx, *m, prior, workers, journal.Append)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted — %s holds every completed point; re-run -run-shard to resume", partialPath)
+		}
 		return err
 	}
 	// Write-then-rename so a failure mid-write cannot destroy the prior
@@ -413,6 +589,11 @@ func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) e
 		return err
 	}
 	err = farm.EncodeShardResult(rf, *res)
+	// The journal is deleted below on the strength of this file, so its
+	// data must be on disk — not just in the page cache — first.
+	if serr := rf.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := rf.Close(); err == nil {
 		err = cerr
 	}
@@ -423,9 +604,48 @@ func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) e
 	if err := os.Rename(tmp, resultPath); err != nil {
 		return err
 	}
+	// The journal may only go once the rename is durable — data pages
+	// were synced above, but the directory entry needs its own fsync, or
+	// a power loss could persist the journal unlink while losing the
+	// rename, and with it every completed point. A cleanup failure must
+	// not report the shard as failed either way — a stale journal is
+	// harmless, its points all being in the result file already.
+	journal.Close()
+	if err := farm.SyncParentDir(resultPath); err != nil {
+		fmt.Fprintf(os.Stderr, "disksim: warning: syncing directory of %s: %v — keeping journal %s\n", resultPath, err, partialPath)
+	} else if err := journal.Remove(); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "disksim: warning: removing journal %s: %v (the result %s is complete)\n", partialPath, err, resultPath)
+	}
 	fmt.Fprintf(out, "shard %d/%d: %d points (%d reused) -> %s\n",
 		m.Index, m.Count, len(res.Points), reused, resultPath)
 	return nil
+}
+
+// priorWithJournal folds the points recovered from a crash journal into
+// the resume input. A result-file prior keeps its identity fields (so
+// RunShard still cross-checks them against the manifest) and wins index
+// ties; with no result file, the journaled points stand alone.
+func priorWithJournal(m *farm.ShardManifest, prior *farm.ShardResult, journaled []farm.ShardPointResult) *farm.ShardResult {
+	if len(journaled) == 0 {
+		return prior
+	}
+	merged := farm.ShardResult{Index: m.Index, Count: m.Count, Seed: m.Seed, Sweep: m.Sweep}
+	if prior != nil {
+		merged = *prior
+		merged.Points = append([]farm.ShardPointResult(nil), prior.Points...)
+	}
+	have := make(map[int]bool, len(merged.Points))
+	for _, p := range merged.Points {
+		have[p.Index] = true
+	}
+	for _, p := range journaled {
+		if !have[p.Index] {
+			merged.Points = append(merged.Points, p)
+			have[p.Index] = true
+		}
+	}
+	sort.Slice(merged.Points, func(i, j int) bool { return merged.Points[i].Index < merged.Points[j].Index })
+	return &merged
 }
 
 // mergeShards recombines every *.result.json under dir and reports the

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
@@ -169,5 +173,244 @@ func TestShardFlagConflicts(t *testing.T) {
 	if err := run([]string{"-merge", dir}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "no *.result.json") {
 		t.Errorf("merge of a result-less directory: %v", err)
+	}
+}
+
+// TestPoolFlagValidation pins the loud-range-error satellite: pool and
+// coordinator sizing flags reject nonsense with the valid range named
+// instead of clamping or spinning.
+func TestPoolFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-spec", spec, "-workers", "-1"}, "valid values"},
+		{[]string{"-work", "http://127.0.0.1:1", "-workers", "-4"}, "valid values"},
+		{[]string{"-spec", spec, "-serve", "127.0.0.1:0", "-lease", "10ms"}, "valid values"},
+		{[]string{"-spec", spec, "-serve", "127.0.0.1:0", "-batch", "0"}, "valid values"},
+		{[]string{"-spec", spec, "-serve", "127.0.0.1:0", "-batch", "-3"}, "valid values"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want error naming %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestCoordFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+	cases := [][]string{
+		{"-spec", spec, "-serve", ":0", "-shards", "2", "-shard-out", dir}, // two distribution modes
+		{"-spec", spec, "-serve", ":0", "-workers", "2"},                   // pool size belongs to -work
+		{"-scenario", "paper-synth", "-serve", ":0"},                       // no grid
+		{"-work", "http://x", "-scenario", "paper-synth"},                  // worker pulls everything
+		{"-work", "http://x", "-select", "knee"},
+		{"-work", "http://x", "-serve", ":0"},
+		{"-spec", spec, "-journal", "j"},  // journal without -serve
+		{"-spec", spec, "-lease", "90s"},  // lease without -serve
+		{"-spec", spec, "-batch", "2"},    // batch without -serve
+		{"-spec", spec, "-name", "mybox"}, // name without -work
+		{"-spec", spec, "-serve", ":0", "-name", "mybox"},
+		{"-run-shard", "x.json", "-serve", ":0"},
+		{"-merge", dir, "-work", "http://x"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want conflict error", args)
+		}
+	}
+}
+
+// freeAddr reserves a localhost port long enough to hand it to -serve.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitDialable blocks until the coordinator is accepting connections,
+// so a fast grid cannot drain and shut down inside a late joiner's
+// first retry backoff.
+func waitDialable(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator on %s never started listening: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeWorkMatchesSingleRun drives the elastic pool through the
+// CLI exactly as the CI job does: -serve on localhost, two -work
+// processes (in-process here), and a report byte-identical to the
+// single-process run of the same spec file.
+func TestServeWorkMatchesSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+
+	var single bytes.Buffer
+	if err := run([]string{"-spec", spec, "-seed", "5"}, &single); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	journal := filepath.Join(dir, "coord.journal")
+	var served bytes.Buffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"-spec", spec, "-seed", "5", "-serve", addr,
+			"-journal", journal, "-lease", "5s", "-batch", "2"}, &served)
+	}()
+	waitDialable(t, addr)
+
+	workErr := make(chan error, 2)
+	var workOut [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			workErr <- run([]string{"-work", "http://" + addr, "-workers", "2",
+				"-name", fmt.Sprintf("w%d", i)}, &workOut[i])
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workErr; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != served.String() {
+		t.Fatalf("coordinator report differs from the single-process run:\n--- single\n%s--- served\n%s", single.String(), served.String())
+	}
+	if workOut[0].String()+workOut[1].String() == "" {
+		t.Error("workers reported nothing")
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Errorf("journal not cleaned up after success: %v", err)
+	}
+}
+
+// TestServeInterrupt pins the graceful-shutdown satellite: SIGINT ends
+// a -serve run with a non-zero (non-nil) outcome that names the
+// journal, and the journal file survives for the resume.
+func TestServeInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+	addr := freeAddr(t)
+	journal := filepath.Join(dir, "coord.journal")
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"-spec", spec, "-seed", "5", "-serve", addr, "-journal", journal}, io.Discard)
+	}()
+	// Wait until the coordinator is actually listening before
+	// delivering the signal.
+	waitDialable(t, addr)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := <-serveErr
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted -serve returned %v, want an interruption error", err)
+	}
+	if !strings.Contains(err.Error(), journal) {
+		t.Errorf("interruption error does not name the journal: %v", err)
+	}
+	if _, statErr := os.Stat(journal); statErr != nil {
+		t.Errorf("journal missing after interrupt: %v", statErr)
+	}
+}
+
+// TestRunShardPartialResume pins the -run-shard incremental-flush
+// satellite: a leftover .partial journal is the resume input (its
+// points are reused, proven by a doctored sentinel surviving), and a
+// successful run deletes it.
+func TestRunShardPartialResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeGridSpec(t, dir)
+	shardDir := filepath.Join(dir, "shards")
+	if err := run([]string{"-spec", spec, "-seed", "5", "-shards", "2", "-shard-out", shardDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(shardDir, "shard-000.json")
+	mf, err := os.Open(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := farm.DecodeShard(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crashed earlier run: a .partial journal holding one
+	// completed point with a sentinel energy no simulation produces.
+	c, err := farm.Compile(m.Sweep, m.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.RunPoint(m.Points[0].Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := *pr.Metrics
+	doctored.Energy = 123456789
+	pr.Metrics = &doctored
+	partialPath := resultPathFor(manifestPath) + ".partial"
+	j, _, err := farm.OpenPointJournal(partialPath, m.Sweep, m.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(pr); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-run-shard", manifestPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(1 reused)") {
+		t.Errorf("run did not resume from the partial journal: %q", out.String())
+	}
+	if _, err := os.Stat(partialPath); !os.IsNotExist(err) {
+		t.Errorf(".partial journal not deleted after the final write: %v", err)
+	}
+	rf, err := os.Open(resultPathFor(manifestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := farm.DecodeShardResult(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Points {
+		if p.Index == pr.Index {
+			found = true
+			if p.Metrics.Energy != 123456789 {
+				t.Error("journaled point was re-run instead of reused")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("journaled point missing from the final result")
 	}
 }

@@ -2,9 +2,12 @@ package diskpack
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
+	"net"
 	"testing"
+	"time"
 )
 
 // TestQuickstartFlow exercises the documented package-level workflow
@@ -171,5 +174,88 @@ func TestShardSweepPublicAPI(t *testing.T) {
 	}
 	if merged.Best < 0 {
 		t.Fatal("merged sweep selected no operating point")
+	}
+}
+
+// TestServeWorkSweepPublicAPI exercises the elastic-pool surface end to
+// end through the root package: ServeSweep on a loopback port, one
+// WorkSweep worker pulling the grid, and a result byte-identical to
+// RunSweep. CompileSweep's point-at-a-time seam is checked against the
+// same reference.
+func TestServeWorkSweepPublicAPI(t *testing.T) {
+	wl := Table1Workload(2, 0)
+	wl.NumFiles = 300
+	wl.MinSize = wl.MinSize / 125
+	wl.MaxSize = wl.MaxSize / 125
+	sweep := FarmSweep{
+		Name: "api-pool",
+		Base: FarmSpec{
+			Name:     "api-pool",
+			Workload: SyntheticFarmWorkload(wl),
+			Alloc:    PackedAlloc(0.7),
+		},
+		Axes:   []FarmAxis{{Kind: AxisSpinThreshold, Values: []float64{30, 600}}},
+		Select: FarmSelector{Kind: SelectKnee},
+	}
+	direct, err := RunSweep(sweep, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp, err := CompileSweep(sweep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := comp.RunPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Metrics == nil || pr.Metrics.Energy != direct.Points[0].Metrics.Energy {
+		t.Fatal("CompileSweep.RunPoint differs from the RunSweep point")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	addrCh := make(chan string, 1)
+	type outcome struct {
+		res *FarmSweepResult
+		err error
+	}
+	servedCh := make(chan outcome, 1)
+	go func() {
+		res, err := ServeSweep(ctx, sweep, 3, "127.0.0.1:0", SweepCoordConfig{
+			BatchSize: 1,
+			Linger:    time.Millisecond,
+			OnListen:  func(a net.Addr) { addrCh <- a.String() },
+		})
+		servedCh <- outcome{res, err}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case served := <-servedCh:
+		t.Fatalf("ServeSweep exited before listening: res=%v err=%v", served.res, served.err)
+	}
+	stats, err := WorkSweep(ctx, "http://"+addr, SweepWorkerConfig{Name: "api-worker", Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points != sweep.NumPoints() {
+		t.Errorf("worker computed %d points, grid has %d", stats.Points, sweep.NumPoints())
+	}
+	served := <-servedCh
+	if served.err != nil {
+		t.Fatal(served.err)
+	}
+	got, err := json.Marshal(served.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("ServeSweep result differs from the single-process RunSweep")
 	}
 }

@@ -1,0 +1,577 @@
+// Package coord is the work-stealing sweep coordinator: the elastic
+// alternative to static shard manifests (farm.Shard) for running one
+// grid across a pool of machines that may join, straggle, or die
+// mid-run.
+//
+// A coordinator (New / Serve) compiles a farm.Sweep into a point queue
+// and serves it over HTTP. Pull-based workers (Work) lease points one
+// slot at a time, execute them with the exact per-point seeding
+// farm.RunSweep uses, and stream every completed point back
+// immediately. Leases expire and re-queue, so a dead or slow worker's
+// points are simply handed to whoever asks next; duplicate submissions
+// are idempotent (each point is a pure function of spec and seed, so
+// any two answers agree). Completed points are journaled to disk
+// incrementally, so a coordinator restart loses at most the point
+// being written. When the queue drains, the assembled report is
+// byte-identical to the single-process farm.RunSweep of the same
+// (sweep, seed) — whatever the worker count, interleaving, or failure
+// history.
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"diskpack/internal/farm"
+)
+
+// Defaults for the zero Config values.
+const (
+	DefaultLeaseTimeout = time.Minute
+	DefaultBatchSize    = 4
+	DefaultLinger       = 2 * time.Second
+)
+
+// MinLeaseTimeout is the shortest lease a coordinator accepts. Workers
+// heartbeat at a third of the lease but no faster than heartbeatFloor,
+// so a shorter lease could never be renewed — every in-flight point
+// would expire and re-queue mid-run, thrashing the pool with duplicate
+// work.
+const MinLeaseTimeout = 3 * heartbeatFloor
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// LeaseTimeout is how long a leased point may go without a
+	// heartbeat or submission before it re-queues for other workers.
+	// Zero means DefaultLeaseTimeout; negative is rejected.
+	LeaseTimeout time.Duration
+	// BatchSize caps the points handed out per lease request. Zero
+	// means DefaultBatchSize; values below 1 are rejected.
+	BatchSize int
+	// JournalPath, when non-empty, appends every completed point to a
+	// crash journal (farm.PointJournal). A coordinator restarted on the
+	// same journal resumes with those points already done.
+	JournalPath string
+	// Linger is how long Serve keeps answering after the grid drains,
+	// so workers between polls read their Done instead of a vanished
+	// listener. Zero means DefaultLinger; negative is rejected.
+	Linger time.Duration
+	// OnListen, when non-nil, is called by Serve once the listener is
+	// bound — how callers learn the actual address of ":0".
+	OnListen func(addr net.Addr)
+}
+
+// validate applies defaults and rejects out-of-range values loudly.
+func (c *Config) validate() error {
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if c.LeaseTimeout < MinLeaseTimeout {
+		return fmt.Errorf("coord: lease timeout %v: valid values are >= %v — workers heartbeat at a third of the lease, no faster than every %v (or 0 for the default %v)",
+			c.LeaseTimeout, MinLeaseTimeout, heartbeatFloor, DefaultLeaseTimeout)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("coord: batch size %d: valid values are >= 1 (or 0 for the default %d)", c.BatchSize, DefaultBatchSize)
+	}
+	if c.Linger == 0 {
+		c.Linger = DefaultLinger
+	}
+	if c.Linger < 0 {
+		return fmt.Errorf("coord: linger %v: valid values are > 0 (or 0 for the default %v)", c.Linger, DefaultLinger)
+	}
+	return nil
+}
+
+// Wire types of the /v1 protocol. Points travel as farm.ShardPoint and
+// farm.ShardPointResult — the same descriptors shard manifests use —
+// so a worker cross-checks leased work against its own compiled grid
+// exactly as RunShard cross-checks a manifest.
+type (
+	// Job is the GET /v1/sweep response: everything a joining worker
+	// needs to compile the grid locally.
+	Job struct {
+		Seed  int64
+		Sweep farm.Sweep
+	}
+	// LeaseRequest asks for up to Max points (the coordinator caps it
+	// at its batch size; Max <= 0 means "coordinator's choice").
+	LeaseRequest struct {
+		Worker string
+		Max    int
+	}
+	// LeaseResponse grants points. Empty Points with Done=false means
+	// everything is leased out elsewhere — poll again; Done=true means
+	// the grid is complete and the worker can exit.
+	LeaseResponse struct {
+		Points       []farm.ShardPoint
+		LeaseSeconds float64
+		Done         bool
+	}
+	// HeartbeatRequest extends the leases this worker still holds.
+	HeartbeatRequest struct {
+		Worker  string
+		Indexes []int
+	}
+	// HeartbeatResponse lists the points no longer leased to the caller
+	// (expired and possibly re-leased). Informational: a client that
+	// can abort work may stop computing them; the reference worker
+	// finishes and submits anyway, since submits are idempotent and
+	// first-write-wins means a finished result may still land.
+	HeartbeatResponse struct {
+		Dropped []int
+	}
+	// SubmitRequest streams one completed point back.
+	SubmitRequest struct {
+		Worker string
+		Point  farm.ShardPointResult
+	}
+	// SubmitResponse acknowledges a submission. Duplicate means the
+	// point was already complete (the submission was discarded —
+	// harmlessly, results being pure). Done means the grid drained.
+	SubmitResponse struct {
+		Duplicate bool
+		Done      bool
+	}
+	// FailRequest reports a point whose execution failed. Points are
+	// pure functions of (spec, seed), so one worker's failure is every
+	// worker's failure: the coordinator fails the run loudly instead of
+	// re-leasing the poison point forever to a pool that drains away.
+	FailRequest struct {
+		Worker string
+		Index  int
+		Error  string
+	}
+	// Status is the GET /v1/status response: queue counters.
+	Status struct {
+		Total, Done, Leased, Pending, Recovered int
+	}
+)
+
+// pointStatus is a queue entry's lifecycle stage.
+type pointStatus uint8
+
+const (
+	statusPending pointStatus = iota
+	statusLeased
+	statusDone
+)
+
+// pointState tracks one grid point through the queue.
+type pointState struct {
+	status   pointStatus
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator owns a compiled grid's point queue and its HTTP
+// protocol. Create with New, expose Handler on a server (or use Serve,
+// which bundles both), and Wait for the assembled result.
+type Coordinator struct {
+	cfg  Config
+	comp *farm.CompiledSweep
+
+	mu        sync.Mutex
+	state     []pointState
+	results   []farm.ShardPointResult
+	pending   int // points not yet done
+	journal   *farm.PointJournal
+	recovered int
+	failed    error // terminal fault (journal write failure)
+	done      chan struct{}
+
+	// journalMu serializes journal appends outside mu, so an fsync
+	// never stalls leases, heartbeats, or status reads.
+	journalMu sync.Mutex
+
+	// now is the clock, a test seam.
+	now func() time.Time
+}
+
+// New compiles the sweep and builds the point queue, recovering any
+// previously journaled points when cfg.JournalPath names an existing
+// journal of the same (sweep, seed).
+func New(sweep farm.Sweep, seed int64, cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// The grid must survive the wire: a custom axis cannot reach a
+	// worker, the same restriction shard manifests carry.
+	if err := farm.Shardable(sweep); err != nil {
+		return nil, err
+	}
+	comp, err := farm.Compile(sweep, seed)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		comp:    comp,
+		state:   make([]pointState, comp.NumPoints()),
+		results: make([]farm.ShardPointResult, comp.NumPoints()),
+		pending: comp.NumPoints(),
+		done:    make(chan struct{}),
+		now:     time.Now,
+	}
+	if cfg.JournalPath != "" {
+		journal, points, err := farm.OpenPointJournal(cfg.JournalPath, sweep, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range points {
+			if err := comp.CheckResult(pr); err != nil {
+				journal.Close()
+				return nil, fmt.Errorf("coord: journal %s: %w — delete it to start over", cfg.JournalPath, err)
+			}
+			if co.state[pr.Index].status == statusDone {
+				continue
+			}
+			co.state[pr.Index].status = statusDone
+			co.results[pr.Index] = pr
+			co.pending--
+			co.recovered++
+		}
+		co.journal = journal
+	}
+	if co.pending == 0 {
+		close(co.done)
+	}
+	return co, nil
+}
+
+// Recovered reports how many points the journal restored at startup.
+func (co *Coordinator) Recovered() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.recovered
+}
+
+// Status returns the queue counters.
+func (co *Coordinator) Status() Status {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.statusLocked()
+}
+
+func (co *Coordinator) statusLocked() Status {
+	s := Status{Total: len(co.state), Recovered: co.recovered}
+	now := co.now()
+	for i := range co.state {
+		switch {
+		case co.state[i].status == statusDone:
+			s.Done++
+		case co.state[i].status == statusLeased && now.Before(co.state[i].deadline):
+			s.Leased++
+		default:
+			s.Pending++
+		}
+	}
+	return s
+}
+
+// Wait blocks until every point is done (or the context is cancelled,
+// or the coordinator failed terminally) and assembles the final
+// result — byte-identical to farm.RunSweep of the same sweep and seed.
+func (co *Coordinator) Wait(ctx context.Context) (*farm.SweepResult, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-co.done:
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed != nil {
+		return nil, co.failed
+	}
+	return co.comp.Assemble(co.results)
+}
+
+// Close releases the journal (the file stays on disk for a restart; the
+// caller removes it once the final result is persisted elsewhere).
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	journal := co.journal
+	co.journal = nil
+	co.mu.Unlock()
+	if journal == nil {
+		return nil
+	}
+	// Taking journalMu waits out any in-flight append before the file
+	// closes under it.
+	co.journalMu.Lock()
+	defer co.journalMu.Unlock()
+	return journal.Close()
+}
+
+// RemoveJournal closes and deletes the journal file — call it after the
+// final result has been persisted elsewhere. A journal already gone
+// (an operator or a tmp cleaner beat us to it) is not an error.
+func (co *Coordinator) RemoveJournal() error {
+	if co.cfg.JournalPath == "" {
+		return nil
+	}
+	co.Close()
+	if err := os.Remove(co.cfg.JournalPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Handler returns the coordinator's HTTP protocol surface.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweep", co.handleSweep)
+	mux.HandleFunc("POST /v1/lease", co.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", co.handleHeartbeat)
+	mux.HandleFunc("POST /v1/submit", co.handleSubmit)
+	mux.HandleFunc("POST /v1/fail", co.handleFail)
+	mux.HandleFunc("GET /v1/status", co.handleStatus)
+	return mux
+}
+
+func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Job{Seed: co.comp.Seed(), Sweep: co.comp.Sweep()})
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, co.Status())
+}
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("coord: decoding lease request: %v", err), http.StatusBadRequest)
+		return
+	}
+	max := req.Max
+	if max < 1 || max > co.cfg.BatchSize {
+		max = co.cfg.BatchSize
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.now()
+	resp := LeaseResponse{LeaseSeconds: co.cfg.LeaseTimeout.Seconds(), Done: co.pending == 0}
+	for i := range co.state {
+		if len(resp.Points) == max {
+			break
+		}
+		s := &co.state[i]
+		if s.status == statusDone || (s.status == statusLeased && now.Before(s.deadline)) {
+			continue
+		}
+		// Pending, or an expired lease: hand it out (again). Work is
+		// stolen, not reassigned — whoever asks first gets it.
+		s.status = statusLeased
+		s.worker = req.Worker
+		s.deadline = now.Add(co.cfg.LeaseTimeout)
+		resp.Points = append(resp.Points, co.comp.Descriptor(i))
+	}
+	writeJSON(w, resp)
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("coord: decoding heartbeat: %v", err), http.StatusBadRequest)
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.now()
+	resp := HeartbeatResponse{}
+	for _, i := range req.Indexes {
+		if i < 0 || i >= len(co.state) {
+			continue
+		}
+		s := &co.state[i]
+		// Extend only a live lease still held by the caller; a lease
+		// that expired may already be someone else's work.
+		if s.status == statusLeased && s.worker == req.Worker && now.Before(s.deadline) {
+			s.deadline = now.Add(co.cfg.LeaseTimeout)
+		} else if s.status != statusDone {
+			resp.Dropped = append(resp.Dropped, i)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("coord: decoding submission: %v", err), http.StatusBadRequest)
+		return
+	}
+	// Reject results that disagree with the compiled grid before taking
+	// the queue lock — a diverged worker build must fail loudly, not
+	// poison the report.
+	if err := co.comp.CheckResult(req.Point); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	co.mu.Lock()
+	if co.failed != nil {
+		err := co.failed
+		co.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if co.state[req.Point.Index].status == statusDone {
+		// First write won. Any duplicate is byte-equal anyway (points
+		// are pure functions of spec and seed), so discarding is safe.
+		resp := SubmitResponse{Duplicate: true, Done: co.pending == 0}
+		co.mu.Unlock()
+		writeJSON(w, resp)
+		return
+	}
+	journal := co.journal
+	co.mu.Unlock()
+
+	// Journal outside the queue lock: a slow fsync must not stall
+	// leases, heartbeats, or other submits' bookkeeping. Two concurrent
+	// submits of the same point may both append — recovery dedups
+	// (first write wins), so the extra line is harmless.
+	if journal != nil {
+		co.journalMu.Lock()
+		err := journal.Append(req.Point)
+		co.journalMu.Unlock()
+		if err != nil {
+			// The crash guarantee is gone; fail the run rather than
+			// keep collecting results that would not survive a restart.
+			// (Unless the grid already drained through other submits —
+			// then every counted point is journaled and the result
+			// stands; the retrying worker will land on Duplicate.)
+			co.mu.Lock()
+			if co.failed == nil && co.pending > 0 {
+				co.failed = fmt.Errorf("coord: journaling point %d: %w", req.Point.Index, err)
+				close(co.done)
+			}
+			co.mu.Unlock()
+			http.Error(w, fmt.Sprintf("coord: journaling point %d: %v", req.Point.Index, err), http.StatusInternalServerError)
+			return
+		}
+	}
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed != nil {
+		http.Error(w, co.failed.Error(), http.StatusInternalServerError)
+		return
+	}
+	s := &co.state[req.Point.Index]
+	if s.status == statusDone {
+		// Another submit of the same point won the fsync race.
+		writeJSON(w, SubmitResponse{Duplicate: true, Done: co.pending == 0})
+		return
+	}
+	s.status = statusDone
+	s.worker = req.Worker
+	co.results[req.Point.Index] = req.Point
+	co.pending--
+	if co.pending == 0 {
+		close(co.done)
+	}
+	writeJSON(w, SubmitResponse{Done: co.pending == 0})
+}
+
+// handleFail marks the run terminally failed on a worker's report of a
+// point whose execution errored. A point that some other worker has
+// meanwhile completed disproves the report (results are deterministic),
+// so it is ignored; otherwise re-leasing the point could only fail
+// every future worker the same way, and the queue would outlive the
+// pool.
+func (co *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("coord: decoding fail report: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Index < 0 || req.Index >= co.comp.NumPoints() {
+		http.Error(w, fmt.Sprintf("coord: fail report index %d outside the %d-point grid", req.Index, co.comp.NumPoints()), http.StatusUnprocessableEntity)
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed == nil && co.state[req.Index].status != statusDone {
+		co.failed = fmt.Errorf("coord: point %d (%s) failed on worker %s: %s",
+			req.Index, co.comp.Label(req.Index), req.Worker, req.Error)
+		close(co.done)
+	}
+	writeJSON(w, struct{}{})
+}
+
+// writeJSON renders a protocol response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve runs a coordinator to completion on one call: listen on addr,
+// serve the protocol until the grid drains (or ctx is cancelled), shut
+// the server down, and return the assembled result. The journal file —
+// if configured — is always left on disk: on error so a restart
+// resumes, and on success until the caller has persisted the returned
+// result (the journal is its only durable copy until then; delete the
+// file once the result is safe, as cmd/disksim does after printing the
+// report).
+func Serve(ctx context.Context, sweep farm.Sweep, seed int64, addr string, cfg Config) (*farm.SweepResult, error) {
+	co, err := New(sweep, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
+	srv := &http.Server{Handler: co.Handler()}
+	// A server that dies mid-run must fail Serve, not hang it: with the
+	// accept loop gone no worker can submit, so Wait would block
+	// forever. The derived context turns a server error into a wake-up.
+	waitCtx, cancelWait := context.WithCancel(ctx)
+	defer cancelWait()
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+			cancelWait()
+		}
+	}()
+	res, err := co.Wait(waitCtx)
+	if err == nil {
+		// Linger: workers between lease polls when the last point landed
+		// must read their Done from the protocol, not infer it from a
+		// vanished listener. The coordinator's own config (validated in
+		// New) carries the window.
+		_ = sleep(ctx, co.cfg.Linger)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	select {
+	case serr := <-serveErr:
+		// Replace only the synthetic wake-up — Wait's cancellation
+		// caused by the server's death (parent context intact). A
+		// drained result or a terminal journal fault stands.
+		if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			err = serr
+		}
+	default:
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,438 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"diskpack/internal/farm"
+)
+
+// Worker defaults for the zero WorkerConfig values.
+const (
+	defaultPoll    = 200 * time.Millisecond
+	defaultRetry   = 30 * time.Second
+	defaultTimeout = 30 * time.Second
+)
+
+// heartbeatFloor is the fastest the worker will heartbeat. Leases
+// shorter than a few beats cannot be renewed reliably, which is why
+// Config.validate floors LeaseTimeout at MinLeaseTimeout = 3× this.
+const heartbeatFloor = 50 * time.Millisecond
+
+// WorkerConfig parameterizes one pull-based worker process.
+type WorkerConfig struct {
+	// Name identifies the worker in leases and logs. Empty derives
+	// "<hostname>-<pid>".
+	Name string
+	// Parallel is how many leased points execute concurrently. Zero
+	// means one per core; negative is rejected.
+	Parallel int
+	// Poll is how long to wait before re-asking when every point is
+	// leased out elsewhere. Zero means 200ms.
+	Poll time.Duration
+	// Retry is the budget for retrying transient coordinator failures
+	// (connection refused while the coordinator boots, a dropped
+	// conn). Zero means 30s; exceeding it fails the worker.
+	Retry time.Duration
+}
+
+// validate applies defaults and rejects out-of-range values loudly.
+func (c *WorkerConfig) validate() error {
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallel < 1 {
+		return fmt.Errorf("coord: worker parallelism %d: valid values are >= 1 (or 0 for one per core)", c.Parallel)
+	}
+	if c.Poll == 0 {
+		c.Poll = defaultPoll
+	}
+	if c.Poll < 0 {
+		return fmt.Errorf("coord: poll interval %v: valid values are > 0 (or 0 for the default %v)", c.Poll, defaultPoll)
+	}
+	if c.Retry == 0 {
+		c.Retry = defaultRetry
+	}
+	if c.Retry < 0 {
+		return fmt.Errorf("coord: retry budget %v: valid values are > 0 (or 0 for the default %v)", c.Retry, defaultRetry)
+	}
+	if c.Name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		c.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	return nil
+}
+
+// WorkStats summarizes one worker's contribution.
+type WorkStats struct {
+	// Worker is the resolved worker name.
+	Worker string
+	// Points is how many points this worker computed and submitted
+	// (duplicates the coordinator discarded included — they were real
+	// work here).
+	Points int
+}
+
+// Work joins the coordinator at baseURL and pulls until the grid is
+// done: fetch the sweep, compile it locally, then lease → execute →
+// submit, streaming each point back the moment it completes. The
+// worker may join an already-running grid and survives transient
+// coordinator outages within cfg.Retry. Leased points are cross-checked
+// against the locally compiled grid, so a worker built from a diverged
+// engine fails loudly instead of submitting wrong numbers. Cancelling
+// the context (the CLI's SIGINT/SIGTERM path) finishes nothing new and
+// returns ctx.Err(); abandoned leases simply expire and re-queue.
+func Work(ctx context.Context, baseURL string, cfg WorkerConfig) (WorkStats, error) {
+	if err := cfg.validate(); err != nil {
+		return WorkStats{}, err
+	}
+	w := &worker{
+		cfg:    cfg,
+		base:   strings.TrimRight(baseURL, "/"),
+		client: &http.Client{Timeout: defaultTimeout},
+	}
+	stats := WorkStats{Worker: cfg.Name}
+
+	// Joining the pool may precede the coordinator's boot — the retry
+	// budget covers the gap.
+	var job Job
+	if err := w.call(ctx, http.MethodGet, "/v1/sweep", nil, &job); err != nil {
+		return stats, fmt.Errorf("coord: worker %s fetching sweep: %w", cfg.Name, err)
+	}
+	comp, err := farm.Compile(job.Sweep, job.Seed)
+	if err != nil {
+		return stats, fmt.Errorf("coord: worker %s compiling served sweep: %w", cfg.Name, err)
+	}
+	stats.Points, err = w.pump(ctx, comp)
+	return stats, err
+}
+
+// worker carries the HTTP plumbing of one Work call.
+type worker struct {
+	cfg    WorkerConfig
+	base   string
+	client *http.Client
+	// draining, when non-nil, reports that the grid is known drained;
+	// call() then stops retrying transient failures — the coordinator
+	// shutting down after its linger window is the expected reason for
+	// them, not an outage worth the budget. (A lone slot whose point
+	// was stolen has no such signal: if its late submit finds the
+	// listener gone, it cannot tell a drain from a crash and reports
+	// the failure — the principled move, since its own work's fate is
+	// unknown.)
+	draining func() bool
+}
+
+// pump runs cfg.Parallel independent slots, each its own lease →
+// execute → submit loop pulling one point at a time. Slots never
+// barrier on each other, so concurrency is exactly cfg.Parallel
+// whatever the coordinator's batch cap, and a slow point occupies only
+// its own slot while the rest keep leasing fresh work. One heartbeat
+// loop covers every point any slot holds. (A slot holds at most one
+// point, so a lease the coordinator steals back mid-run needs no
+// bookkeeping here: nothing is queued behind it, the run cannot be
+// aborted, and its submit lands as a harmless duplicate.)
+func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error) {
+	slotCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu sync.Mutex
+		// held counts slots computing each point — a count, not a set,
+		// because the coordinator can re-lease this worker's own expired
+		// point to a sibling slot, and the first finisher must not
+		// strip the survivor's heartbeat coverage.
+		held       = make(map[int]int, w.cfg.Parallel)
+		hbInterval time.Duration // from lease responses; 0 until the first grant
+		computed   int
+		gridDone   bool
+		firstErr   error
+	)
+	// The first slot to read Done winds the others down immediately:
+	// the coordinator only lingers briefly after the drain, so a
+	// sibling polling for one more lease would find a closed port and
+	// burn its whole retry budget on a run that already succeeded.
+	markDone := func() {
+		mu.Lock()
+		gridDone = true
+		mu.Unlock()
+		cancel()
+	}
+	w.draining = func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gridDone
+	}
+
+	hbStop := make(chan struct{})
+	var hbWg sync.WaitGroup
+	hbWg.Add(1)
+	go func() {
+		defer hbWg.Done()
+		for {
+			mu.Lock()
+			interval := hbInterval
+			mu.Unlock()
+			if interval <= 0 {
+				interval = heartbeatFloor
+			}
+			t := time.NewTimer(interval)
+			select {
+			case <-hbStop:
+				t.Stop()
+				return
+			case <-slotCtx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			mu.Lock()
+			idx := make([]int, 0, len(held))
+			for i := range held {
+				idx = append(idx, i)
+			}
+			mu.Unlock()
+			if len(idx) == 0 {
+				continue
+			}
+			// A missed heartbeat is not fatal — the lease just edges
+			// toward expiry; the next beat or the submission renews it.
+			// The response's Dropped list (points stolen from us) is
+			// deliberately not acted on: a slot holds one point it
+			// cannot abort mid-run, and a finished result is worth
+			// submitting anyway — submits are idempotent, first write
+			// wins, so ours may still land, and the submit response is
+			// how a lone slot learns the grid drained.
+			var resp HeartbeatResponse
+			_ = w.once(slotCtx, http.MethodPost, "/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Indexes: idx}, &resp)
+		}
+	}()
+
+	slot := func() error {
+		for {
+			if err := slotCtx.Err(); err != nil {
+				return err
+			}
+			var lease LeaseResponse
+			if err := w.call(slotCtx, http.MethodPost, "/v1/lease", LeaseRequest{Worker: w.cfg.Name, Max: 1}, &lease); err != nil {
+				return fmt.Errorf("coord: worker %s leasing: %w", w.cfg.Name, err)
+			}
+			if lease.LeaseSeconds > 0 {
+				mu.Lock()
+				if hbInterval = time.Duration(lease.LeaseSeconds / 3 * float64(time.Second)); hbInterval < heartbeatFloor {
+					hbInterval = heartbeatFloor
+				}
+				mu.Unlock()
+			}
+			if len(lease.Points) == 0 {
+				if lease.Done {
+					markDone()
+					return nil
+				}
+				// Everything is leased out elsewhere; wait for a lease
+				// to expire or the grid to drain.
+				if err := sleep(slotCtx, w.cfg.Poll); err != nil {
+					return err
+				}
+				continue
+			}
+			done := false
+			for _, sp := range lease.Points {
+				mu.Lock()
+				held[sp.Index]++
+				mu.Unlock()
+				// The parent context, deliberately: a sibling slot
+				// reading Done cancels slotCtx, and that must not chop
+				// an in-flight submit the coordinator may already have
+				// counted toward the drain.
+				resp, err := w.runPoint(ctx, comp, sp)
+				mu.Lock()
+				if held[sp.Index]--; held[sp.Index] <= 0 {
+					delete(held, sp.Index)
+				}
+				if err == nil {
+					computed++
+				}
+				gd := gridDone
+				mu.Unlock()
+				if err != nil {
+					if gd {
+						// The grid drained while this (necessarily
+						// duplicate) point was in flight; a failed
+						// submit against a gone coordinator is moot.
+						return nil
+					}
+					return err
+				}
+				done = done || resp.Done
+			}
+			if done {
+				markDone()
+				return nil
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w.cfg.Parallel)
+	for g := 0; g < w.cfg.Parallel; g++ {
+		go func() {
+			defer wg.Done()
+			if err := slot(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel() // wind the other slots down
+			}
+		}()
+	}
+	wg.Wait()
+	close(hbStop)
+	hbWg.Wait()
+	if firstErr != nil && !errors.Is(firstErr, context.Canceled) {
+		// A real failure outranks everything, drained grid included.
+		return computed, firstErr
+	}
+	if gridDone {
+		// Cancellations here are markDone winding the other slots down.
+		return computed, nil
+	}
+	if ctx.Err() != nil {
+		// Normalize: the caller cancelled, whatever slot noticed first.
+		return computed, ctx.Err()
+	}
+	return computed, firstErr
+}
+
+// runPoint checks, executes, and submits one leased point. The submit
+// happens even if the lease has meanwhile expired or been stolen:
+// submits are idempotent and first-write-wins, so a finished result is
+// never wasted, and the response's Done flag is the only way a lone
+// slot learns the grid drained.
+func (w *worker) runPoint(ctx context.Context, comp *farm.CompiledSweep, sp farm.ShardPoint) (SubmitResponse, error) {
+	if err := comp.Check(sp); err != nil {
+		// A diverged build is this worker's defect, not the grid's —
+		// exit without poisoning the run for healthy workers.
+		return SubmitResponse{}, fmt.Errorf("coord: worker %s lease: %w", w.cfg.Name, err)
+	}
+	pr, err := comp.RunPoint(sp.Index)
+	if err != nil {
+		// Points are pure functions of (spec, seed): every worker would
+		// fail this one identically, so report it — otherwise the queue
+		// re-leases the poison point until the pool drains and the
+		// coordinator waits forever.
+		_ = w.call(ctx, http.MethodPost, "/v1/fail", FailRequest{Worker: w.cfg.Name, Index: sp.Index, Error: err.Error()}, nil)
+		return SubmitResponse{}, fmt.Errorf("coord: worker %s point %s: %w", w.cfg.Name, sp.Label, err)
+	}
+	var resp SubmitResponse
+	if err := w.call(ctx, http.MethodPost, "/v1/submit", SubmitRequest{Worker: w.cfg.Name, Point: pr}, &resp); err != nil {
+		return SubmitResponse{}, fmt.Errorf("coord: worker %s submitting point %s: %w", w.cfg.Name, sp.Label, err)
+	}
+	return resp, nil
+}
+
+// fatalStatus reports whether an HTTP status ends the worker rather
+// than being retried: client errors mean the request itself is wrong
+// (a diverged build, a bad URL) and repeating it cannot help.
+func fatalStatus(code int) bool { return code >= 400 && code < 500 }
+
+// httpError is a non-2xx response.
+type httpError struct {
+	code int
+	body string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.code, strings.TrimSpace(e.body))
+}
+
+// call performs one protocol request, retrying transient failures
+// (network errors, 5xx) with exponential backoff within the Retry
+// budget. 4xx responses are fatal immediately.
+func (w *worker) call(ctx context.Context, method, path string, in, out any) error {
+	deadline := time.Now().Add(w.cfg.Retry)
+	backoff := 100 * time.Millisecond
+	for {
+		err := w.once(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var he *httpError
+		if errors.As(err, &he) && fatalStatus(he.code) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		if w.draining != nil && w.draining() {
+			return err
+		}
+		if serr := sleep(ctx, backoff); serr != nil {
+			return serr
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// once performs a single protocol request.
+func (w *worker) once(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return &httpError{code: resp.StatusCode, body: string(msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleep waits for d or the context, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -2,9 +2,11 @@ package farm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Sharded sweeps: the distributed layer over the grid engine. A Sweep's
@@ -85,6 +87,12 @@ func shardableSweep(s Sweep) error {
 	}
 	return s.Validate()
 }
+
+// Shardable reports whether the sweep can leave the process: valid and
+// free of custom axes, whose Apply functions do not serialize. Shard,
+// OpenPointJournal, and the coordinator (internal/coord) all enforce
+// this one rule.
+func Shardable(s Sweep) error { return shardableSweep(s) }
 
 // Shard partitions the sweep's compiled grid into n self-contained
 // manifests, round-robin: point i goes to shard i mod n, so systematic
@@ -185,18 +193,27 @@ func (p ShardPointResult) complete(planOnly bool) bool {
 // compiled grid so a stale manifest fails loudly rather than merging
 // silently wrong numbers.
 func RunShard(m ShardManifest, prior *ShardResult, workers int) (*ShardResult, error) {
+	return RunShardStream(context.Background(), m, prior, workers, nil)
+}
+
+// RunShardStream is RunShard with incremental delivery: sink, when
+// non-nil, receives each newly computed point the moment it completes
+// (calls are serialized; reused prior points are not re-emitted), which
+// is how cmd/disksim journals a shard's progress so a crash loses at
+// most one point. Cancelling the context stops new points from
+// starting — in-flight points finish and reach the sink first — and
+// returns ctx.Err(). A sink error aborts the run.
+func RunShardStream(ctx context.Context, m ShardManifest, prior *ShardResult, workers int, sink func(ShardPointResult) error) (*ShardResult, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	points, err := m.Sweep.Points()
+	c, err := Compile(m.Sweep, m.Seed)
 	if err != nil {
 		return nil, err
 	}
 	for _, sp := range m.Points {
-		p := &points[sp.Index]
-		if p.Label != sp.Label || p.SeedOffset != sp.SeedOffset {
-			return nil, fmt.Errorf("farm: shard %d/%d point %d (%q, seed offset %d) does not match the compiled grid (%q, %d) — manifest from a diverged build?",
-				m.Index, m.Count, sp.Index, sp.Label, sp.SeedOffset, p.Label, p.SeedOffset)
+		if err := c.Check(sp); err != nil {
+			return nil, fmt.Errorf("farm: shard %d/%d: %w", m.Index, m.Count, err)
 		}
 	}
 	reuse := make(map[int]ShardPointResult)
@@ -226,9 +243,9 @@ func RunShard(m ShardManifest, prior *ShardResult, workers int) (*ShardResult, e
 			if !pr.complete(m.Sweep.PlanOnly) {
 				continue
 			}
-			if pr.Index < len(points) && points[pr.Index].Label != pr.Label {
+			if pr.Index < c.NumPoints() && c.Label(pr.Index) != pr.Label {
 				return nil, fmt.Errorf("farm: prior result point %d is %q, grid says %q — result from a different grid?",
-					pr.Index, pr.Label, points[pr.Index].Label)
+					pr.Index, pr.Label, c.Label(pr.Index))
 			}
 			reuse[pr.Index] = pr
 		}
@@ -240,24 +257,25 @@ func RunShard(m ShardManifest, prior *ShardResult, workers int) (*ShardResult, e
 		Sweep:  m.Sweep,
 		Points: make([]ShardPointResult, len(m.Points)),
 	}
-	err = parallelFor(len(m.Points), poolSize(workers), func(i int) error {
+	var sinkMu sync.Mutex
+	err = parallelFor(ctx, len(m.Points), poolSize(workers), func(i int) error {
 		sp := m.Points[i]
 		if pr, ok := reuse[sp.Index]; ok {
 			out.Points[i] = pr
 			return nil
 		}
-		p := &points[sp.Index]
-		res := ShardPointResult{Index: sp.Index, Label: sp.Label}
-		var err error
-		if m.Sweep.PlanOnly {
-			res.Alloc, err = Plan(p.Spec, m.Seed+p.SeedOffset)
-		} else {
-			res.Metrics, err = Run(p.Spec, m.Seed+p.SeedOffset)
-		}
+		pr, err := c.RunPoint(sp.Index)
 		if err != nil {
 			return fmt.Errorf("farm: shard %d/%d point %s: %w", m.Index, m.Count, sp.Label, err)
 		}
-		out.Points[i] = res
+		out.Points[i] = pr
+		if sink != nil {
+			sinkMu.Lock()
+			defer sinkMu.Unlock()
+			if err := sink(pr); err != nil {
+				return fmt.Errorf("farm: shard %d/%d streaming point %s: %w", m.Index, m.Count, sp.Label, err)
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -319,39 +337,27 @@ func Merge(results []ShardResult) (*SweepResult, error) {
 			}
 		}
 	}
-	points, err := ref.Sweep.Points()
+	c, err := Compile(ref.Sweep, ref.Seed)
 	if err != nil {
 		return nil, err
 	}
-	filled := make([]bool, len(points))
+	// Validate per input before flattening: Assemble would catch every
+	// defect too, but could not say which result file carried it.
+	flat := make([]ShardPointResult, 0, c.NumPoints())
+	seen := make(map[int]int) // point index -> merge input that contributed it
 	for i := range results {
 		for _, pr := range results[i].Points {
-			if pr.Index >= len(points) {
-				return nil, fmt.Errorf("farm: merge input %d result index %d outside the %d-point grid", i, pr.Index, len(points))
+			if err := c.CheckResult(pr); err != nil {
+				return nil, fmt.Errorf("farm: merge input %d: %w", i, err)
 			}
-			if filled[pr.Index] {
-				return nil, fmt.Errorf("farm: point %d (%s) appears in more than one shard result", pr.Index, pr.Label)
+			if prev, dup := seen[pr.Index]; dup {
+				return nil, fmt.Errorf("farm: point %d (%s) appears in both merge inputs %d and %d", pr.Index, pr.Label, prev, i)
 			}
-			p := &points[pr.Index]
-			if p.Label != pr.Label {
-				return nil, fmt.Errorf("farm: merge input %d point %d is %q, grid says %q — result from a different grid?",
-					i, pr.Index, pr.Label, p.Label)
-			}
-			if !pr.complete(ref.Sweep.PlanOnly) {
-				return nil, fmt.Errorf("farm: point %d (%s) is incomplete — re-run its shard to resume it", pr.Index, pr.Label)
-			}
-			p.Metrics, p.Alloc = pr.Metrics, pr.Alloc
-			filled[pr.Index] = true
+			seen[pr.Index] = i
+			flat = append(flat, pr)
 		}
 	}
-	for i, ok := range filled {
-		if !ok {
-			return nil, fmt.Errorf("farm: merge is missing point %d (%s) — did every shard run?", i, points[i].Label)
-		}
-	}
-	res := &SweepResult{Sweep: ref.Sweep, Points: points}
-	res.Best, res.Front = ref.Sweep.Select.pick(points)
-	return res, nil
+	return c.Assemble(flat)
 }
 
 // EncodeShard writes a manifest as indented JSON.

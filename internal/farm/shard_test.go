@@ -273,8 +273,8 @@ func TestShardValidation(t *testing.T) {
 	if _, err := Merge([]ShardResult{*r0}); err == nil || !strings.Contains(err.Error(), "missing point") {
 		t.Errorf("incomplete merge accepted: %v", err)
 	}
-	// Duplicated shard: same point twice.
-	if _, err := Merge([]ShardResult{*r0, *r1, *r0}); err == nil || !strings.Contains(err.Error(), "more than one") {
+	// Duplicated shard: same point twice, naming both offending inputs.
+	if _, err := Merge([]ShardResult{*r0, *r1, *r0}); err == nil || !strings.Contains(err.Error(), "merge inputs 0 and 2") {
 		t.Errorf("duplicate merge accepted: %v", err)
 	}
 	// Mixed seeds: results from different runs must not combine.

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -545,29 +546,23 @@ func (r *SweepResult) At(coord ...int) *Point {
 // stored by point index, so the output is byte-identical for any worker
 // count. The first point error aborts the sweep.
 func RunSweep(sweep Sweep, seed int64, workers int) (*SweepResult, error) {
-	points, err := sweep.Points()
+	c, err := Compile(sweep, seed)
 	if err != nil {
 		return nil, err
 	}
-	err = parallelFor(len(points), poolSize(workers), func(i int) error {
-		p := &points[i]
-		var err error
-		if sweep.PlanOnly {
-			p.Alloc, err = Plan(p.Spec, seed+p.SeedOffset)
-		} else {
-			p.Metrics, err = Run(p.Spec, seed+p.SeedOffset)
-		}
+	results := make([]ShardPointResult, c.NumPoints())
+	err = parallelFor(context.Background(), c.NumPoints(), poolSize(workers), func(i int) error {
+		pr, err := c.RunPoint(i)
 		if err != nil {
-			return fmt.Errorf("farm: sweep %s point %s: %w", sweep.Name, p.Label, err)
+			return fmt.Errorf("farm: sweep %s point %s: %w", sweep.Name, c.Label(i), err)
 		}
+		results[i] = pr
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{Sweep: sweep, Points: points}
-	res.Best, res.Front = sweep.Select.pick(points)
-	return res, nil
+	return c.Assemble(results)
 }
 
 // poolSize resolves a worker-count flag: non-positive means one worker
@@ -581,8 +576,10 @@ func poolSize(workers int) int {
 
 // parallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // and returns the first error (remaining work is skipped once an error
-// is recorded).
-func parallelFor(n, workers int, fn func(i int) error) error {
+// is recorded). Cancelling the context stops new work from being
+// grabbed — in-flight calls finish — and surfaces ctx.Err() unless an
+// fn error came first.
+func parallelFor(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -598,7 +595,7 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	grab := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if firstErr != nil || next >= n || ctx.Err() != nil {
 			return 0, false
 		}
 		i := next
@@ -629,6 +626,9 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 
