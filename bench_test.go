@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"diskpack/internal/control"
 	"diskpack/internal/core"
 	"diskpack/internal/exp"
 	"diskpack/internal/farm"
@@ -292,6 +293,45 @@ func BenchmarkSweep(b *testing.B) {
 			b.ReportMetric(saving, "saving@p0")
 		})
 	}
+}
+
+// BenchmarkControlEpoch times the online control plane: the ON/OFF
+// fixture run closed-loop under the tail-budget controller at a 200 s
+// epoch (~40 windows per run), against the identical open-loop run.
+// The controlled/open-loop ns/op delta in BENCH_ci.json is the control
+// plane's overhead — telemetry windows plus controller decisions.
+func BenchmarkControlEpoch(b *testing.B) {
+	sc, ok := farm.Lookup("controlled-bursty")
+	if !ok {
+		b.Fatal("controlled-bursty not registered")
+	}
+	spec := sc.Spec
+	cs := *spec.Control
+	cs.Epoch = 200
+	spec.Control = &cs
+	open := spec
+	open.Control = nil
+
+	b.Run("open-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := farm.Run(open, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("controlled", func(b *testing.B) {
+		b.ReportAllocs()
+		windows := 0
+		for i := 0; i < b.N; i++ {
+			res, err := control.RunSpec(spec, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			windows = len(res.Windows)
+		}
+		b.ReportMetric(float64(windows), "windows")
+	})
 }
 
 // packingInstance builds the skewed instance used by the complexity

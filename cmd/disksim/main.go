@@ -63,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"diskpack/internal/control"
 	"diskpack/internal/coord"
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
@@ -89,6 +90,7 @@ const gridUsage = `sweep axes (repeatable, -sweep dim=v1,v2,...):
   rate       workload intensity, requests/s
   alloc      allocation strategy: pack, packv, random, firstfit, ffd, bestfit, chp
   seed       seed offset for independent replications
+  control    online controller: tail-budget, rate-respec, static (base needs -control or a controlled scenario)
 selectors (-select): none, knee, pareto, slo=SECONDS`
 
 func main() {
@@ -129,10 +131,14 @@ func run(args []string, out io.Writer) error {
 		workerName  = fs.String("name", "", "worker name for -work (default <hostname>-<pid>)")
 		journalPath = fs.String("journal", "", "coordinator crash journal for -serve: completed points append here; restart with the same flags to resume")
 		leaseD      = fs.Duration("lease", time.Minute, "coordinator lease: how long a worker may hold a point without a heartbeat before it re-queues")
-		batchN      = fs.Int("batch", 4, "coordinator batch: max points handed out per lease request")
+		batchN      = fs.Int("batch", 4, "coordinator batch: max points handed out per lease request (adaptively shrunk by observed point cost)")
+		token       = fs.String("token", "", "shared secret for -serve/-work: workers must present it, mismatches get 401")
+		controlName = fs.String("control", "", "run closed-loop under an online controller: tail-budget, rate-respec, or static to strip a scenario's controller")
+		epochF      = fs.Float64("epoch", 0, "telemetry window length in seconds for -control (default: the scenario's, or 1800)")
+		budgetF     = fs.Float64("budget", 0, "p95 response-time budget in seconds for -control tail-budget (default: the scenario's, or 20)")
 		verbose     = fs.Bool("v", false, "per-disk breakdown")
 	)
-	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed)")
+	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed, control)")
 	// The FlagSet would print every parse error itself and main would
 	// print it again; silence the FlagSet and report once (restoring
 	// output for an explicit -h).
@@ -212,17 +218,20 @@ func run(args []string, out io.Writer) error {
 	}
 	if *workURL != "" {
 		if err := onlyFlags("work",
-			"a worker pulls everything from the coordinator; it takes only -workers and -name",
-			"workers", "name"); err != nil {
+			"a worker pulls everything from the coordinator; it takes only -workers, -name, and -token",
+			"workers", "name", "token"); err != nil {
 			return err
 		}
-		return workSweep(*workURL, *workerName, *workers, out)
+		return workSweep(*workURL, *workerName, *workers, *token, out)
 	}
 	// Like the coordinator knobs below, the worker's name must not
 	// outlive its mode: silently ignored flags would look like they
 	// took effect.
 	if wasSet("name") {
 		return fmt.Errorf("-name needs -work URL")
+	}
+	if wasSet("token") && *serveAddr == "" {
+		return fmt.Errorf("-token needs -serve ADDR or -work URL")
 	}
 	if *serveAddr != "" {
 		if *leaseD < time.Second {
@@ -281,9 +290,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-shards and -spec-out both write files and exit: pick one")
 	}
 
+	controlFlags := *controlName != "" || wasSet("epoch") || wasSet("budget")
+
 	if *specIn != "" {
-		if len(axes) > 0 || *selectS != "" || *specOut != "" {
-			return fmt.Errorf("-sweep/-select/-spec-out cannot be combined with -spec (edit the file instead)")
+		if len(axes) > 0 || *selectS != "" || *specOut != "" || controlFlags {
+			return fmt.Errorf("-sweep/-select/-spec-out/-control cannot be combined with -spec (edit the file instead)")
 		}
 		f, err := os.Open(*specIn)
 		if err != nil {
@@ -304,7 +315,7 @@ func run(args []string, out io.Writer) error {
 			if doc.Sweep == nil {
 				return fmt.Errorf("-serve needs a grid: %s holds a single Spec, not a Sweep", *specIn)
 			}
-			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *verbose)
+			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *verbose)
 		}
 		if doc.Sweep != nil {
 			return runSweep(out, *doc.Sweep, *seed, *workers, *verbose)
@@ -318,14 +329,35 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Resolve the base spec: a registered scenario or the ad-hoc flags.
+	// gridBase carries a grid scenario's full sweep (richer than base +
+	// axes can express, e.g. static-vs-controlled's policy axis).
 	var base farm.Spec
+	var gridBase *farm.Sweep
 	switch {
 	case *scenario != "":
 		sc, ok := farm.Lookup(*scenario)
 		if !ok {
 			return fmt.Errorf("unknown scenario %q (use -scenarios to list)", *scenario)
 		}
-		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 && *serveAddr == "" {
+		if sc.Grid != nil {
+			if controlFlags {
+				return fmt.Errorf("-control cannot override scenario %s: its grid fixes each point's policy", sc.Name)
+			}
+			gridBase = sc.Grid
+			base = sc.Grid.Base
+			break
+		}
+		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 && *serveAddr == "" && !controlFlags {
+			if sc.Spec.Control != nil {
+				// Controlled scenarios run through the control plane so
+				// the report carries the telemetry windows.
+				res, err := control.RunSpec(sc.Spec, *seed)
+				if err != nil {
+					return err
+				}
+				printControlled(out, res, sc.Spec.CacheBytes > 0, *verbose)
+				return nil
+			}
 			res, err := farm.RunScenario(*scenario, *seed)
 			if err != nil {
 				return err
@@ -374,28 +406,91 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if selector.Kind != farm.SelectNone && len(axes) == 0 {
+	// Fold the -control/-epoch/-budget overrides into the base spec:
+	// "static" strips a scenario's controller, anything else installs
+	// or rewrites one (the scenario's own epoch and budget survive
+	// unless overridden).
+	if controlFlags {
+		if *controlName == "static" || *controlName == "none" {
+			if wasSet("epoch") || wasSet("budget") {
+				return fmt.Errorf("-epoch/-budget have no effect with -control %s", *controlName)
+			}
+			base.Control = nil
+		} else {
+			cs := farm.ControlSpec{}
+			if base.Control != nil {
+				cs = *base.Control
+			}
+			if *controlName != "" {
+				cs.Controller = *controlName
+			}
+			if wasSet("epoch") {
+				cs.Epoch = *epochF
+			}
+			if wasSet("budget") {
+				cs.BudgetP95 = *budgetF
+			}
+			if cs.Controller == "" {
+				return fmt.Errorf("-epoch/-budget need -control NAME (or a controlled scenario); controllers: tail-budget, rate-respec")
+			}
+			if _, err := control.ParseKind(cs.Controller); err != nil {
+				return err
+			}
+			if cs.Epoch == 0 {
+				cs.Epoch = control.DefaultEpoch
+			}
+			base.Control = &cs
+			// A threshold-family spin policy becomes the tunable kind the
+			// tail-budget controller actuates (a fixed threshold survives
+			// as the initial value). Other kinds — adaptive, randomized,
+			// never, immediate — are left alone; the controller can still
+			// observe and re-spec, it just has no threshold knob.
+			switch base.Spin.Kind {
+			case farm.SpinBreakEven:
+				base.Spin = farm.SpinSpec{Kind: farm.SpinTailAware}
+			case farm.SpinFixed:
+				base.Spin = farm.SpinSpec{Kind: farm.SpinTailAware, Threshold: base.Spin.Threshold}
+			}
+		}
+	}
+
+	// mkSweep assembles the grid every distributed mode operates on: a
+	// grid scenario's own sweep (extended by any -sweep axes), or the
+	// ad-hoc base × axes.
+	hasGrid := len(axes) > 0 || gridBase != nil
+	mkSweep := func() farm.Sweep {
+		if gridBase != nil {
+			s := *gridBase
+			s.Axes = append(append([]farm.Axis{}, s.Axes...), axes...)
+			if *selectS != "" {
+				s.Select = selector
+			}
+			return s
+		}
+		return farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector}
+	}
+
+	if selector.Kind != farm.SelectNone && !hasGrid {
 		return fmt.Errorf("-select needs a grid: add at least one -sweep axis")
 	}
 	if *shards > 0 {
-		if len(axes) == 0 {
+		if !hasGrid {
 			return fmt.Errorf("-shards needs a grid: add -sweep axes or use a sweep scenario/spec")
 		}
-		return writeShards(farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
-			*seed, *shards, *shardOut, out)
+		return writeShards(mkSweep(), *seed, *shards, *shardOut, out)
 	}
 	if *serveAddr != "" {
-		if len(axes) == 0 {
+		if !hasGrid {
 			return fmt.Errorf("-serve needs a grid: add -sweep axes or use a sweep scenario/spec")
 		}
-		return serveSweep(out, farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
-			*seed, *serveAddr, *journalPath, *leaseD, *batchN, *verbose)
+		return serveSweep(out, mkSweep(), *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *verbose)
 	}
 
 	if *specOut != "" {
 		doc := farm.File{}
-		if len(axes) > 0 {
-			doc.Sweep = &farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector}
+		if hasGrid {
+			s := mkSweep()
+			doc.Sweep = &s
 		} else {
 			doc.Spec = &base
 		}
@@ -414,9 +509,16 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	if len(axes) > 0 {
-		return runSweep(out, farm.Sweep{Name: base.Name, Base: base, Axes: axes, Select: selector},
-			*seed, *workers, *verbose)
+	if hasGrid {
+		return runSweep(out, mkSweep(), *seed, *workers, *verbose)
+	}
+	if base.Control != nil {
+		res, err := control.RunSpec(base, *seed)
+		if err != nil {
+			return err
+		}
+		printControlled(out, res, base.CacheBytes > 0, *verbose)
+		return nil
 	}
 	m, err := farm.Run(base, *seed)
 	if err != nil {
@@ -487,13 +589,14 @@ func interruptContext() (context.Context, context.CancelFunc) {
 // serveSweep runs the grid as a work-stealing coordinator and prints
 // the drained report — byte-identical to runSweep of the same grid.
 // Progress goes to stderr so the report stays diffable.
-func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal string, lease time.Duration, batch int, verbose bool) error {
+func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal string, lease time.Duration, batch int, token string, verbose bool) error {
 	ctx, stop := interruptContext()
 	defer stop()
 	res, err := coord.Serve(ctx, sweep, seed, addr, coord.Config{
 		LeaseTimeout: lease,
 		BatchSize:    batch,
 		JournalPath:  journal,
+		Token:        token,
 		OnListen: func(a net.Addr) {
 			fmt.Fprintf(os.Stderr, "disksim: coordinator serving %d points on %s\n", sweep.NumPoints(), a)
 		},
@@ -521,10 +624,10 @@ func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal strin
 }
 
 // workSweep joins a coordinator and pulls points until the grid drains.
-func workSweep(url, name string, workers int, out io.Writer) error {
+func workSweep(url, name string, workers int, token string, out io.Writer) error {
 	ctx, stop := interruptContext()
 	defer stop()
-	stats, err := coord.Work(ctx, url, coord.WorkerConfig{Name: name, Parallel: workers})
+	stats, err := coord.Work(ctx, url, coord.WorkerConfig{Name: name, Parallel: workers, Token: token})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			return fmt.Errorf("worker %s interrupted after %d points — its leases will expire and re-queue at the coordinator", stats.Worker, stats.Points)
@@ -701,10 +804,15 @@ func runSweep(out io.Writer, sweep farm.Sweep, seed int64, workers int, verbose 
 func listScenarios(out io.Writer) {
 	for _, sc := range farm.Scenarios() {
 		kind := "run"
-		if sc.Sweep != nil {
+		switch {
+		case sc.Grid != nil:
+			kind = fmt.Sprintf("grid of %d points", sc.Grid.NumPoints())
+		case sc.Sweep != nil:
 			kind = fmt.Sprintf("sweep over %d thresholds", len(sc.Sweep.Thresholds))
+		case sc.Spec.Control != nil:
+			kind = "controlled"
 		}
-		fmt.Fprintf(out, "%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
+		fmt.Fprintf(out, "%-20s %-18s %s\n", sc.Name, kind, sc.Doc)
 	}
 }
 
@@ -814,6 +922,46 @@ func printPlanSweep(out io.Writer, res *farm.SweepResult) {
 		a := res.Points[i].Alloc
 		fmt.Fprintf(out, "%-*s %8d %10d %8.3f %10.2f\n",
 			width, res.Points[i].Label, a.DisksUsed, a.LowerBound, a.Rho, a.Bound)
+	}
+}
+
+// printControlled renders a closed-loop run: the unified metrics, a
+// per-window telemetry table, and (verbose) the controller's action
+// log. Everything printed is a pure function of (spec, seed), so two
+// runs diff clean — the CI control-smoke job depends on that.
+func printControlled(out io.Writer, res *control.Result, withCache, verbose bool) {
+	m := res.Metrics
+	fmt.Fprintf(out, "controller        %s (%d windows, %d actions)\n", res.Controller, len(res.Windows), len(res.Actions))
+	printMetrics(out, m, "", withCache, verbose)
+	if m.Sim.MigratedFiles > 0 {
+		fmt.Fprintf(out, "migration         %d files, %.3e bytes, %.3e J\n",
+			m.Sim.MigratedFiles, float64(m.Sim.MigratedBytes), m.Sim.MigrationEnergy)
+	}
+	fmt.Fprintf(out, "\n%-6s %-8s %10s %8s %8s %10s %10s %8s\n",
+		"window", "span(s)", "threshold", "arrive", "done", "p95(s)", "energy(J)", "spinups")
+	for _, w := range res.Windows {
+		// The homogeneous threshold column reads group 0; heterogeneous
+		// farms list every group's knob.
+		thr := ""
+		for g := range w.Groups {
+			if g > 0 {
+				thr += "/"
+			}
+			thr += fmt.Sprintf("%.4g", w.Groups[g].Threshold)
+		}
+		fmt.Fprintf(out, "%-6d %-8.0f %10s %8d %8d %10.2f %10.3e %8d\n",
+			w.Index, w.End-w.Start, thr, w.Total.Arrivals, w.Total.Completed,
+			w.Total.RespP95, w.Total.Energy, w.Total.SpinUps)
+	}
+	if verbose {
+		fmt.Fprintln(out, "\nactions:")
+		for _, a := range res.Actions {
+			status := "applied"
+			if !a.Applied {
+				status = "skipped"
+			}
+			fmt.Fprintf(out, "  w%02d %-14s %-7s %s\n", a.Window, a.Action.Kind, status, a.Note)
+		}
 	}
 }
 

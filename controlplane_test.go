@@ -1,0 +1,86 @@
+package diskpack
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// lookupScenario finds a catalogue entry through the public listing.
+func lookupScenario(t *testing.T, name string) FarmScenario {
+	t.Helper()
+	for _, sc := range FarmScenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %q not in the catalogue", name)
+	return FarmScenario{}
+}
+
+// TestRunControlledPublicAPI drives a closed-loop run through the root
+// exports: deterministic result, telemetry windows present, and the
+// same metrics when the controlled spec goes through plain RunFarm.
+func TestRunControlledPublicAPI(t *testing.T) {
+	spec := lookupScenario(t, "controlled-bursty").Spec
+	a, err := RunControlled(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Windows) == 0 || a.Metrics == nil {
+		t.Fatal("controlled result missing windows or metrics")
+	}
+	b, err := RunControlled(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Error("RunControlled not deterministic")
+	}
+	m, err := RunFarm(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, _ := json.Marshal(m)
+	amj, _ := json.Marshal(a.Metrics)
+	if string(mj) != string(amj) {
+		t.Error("RunFarm on a controlled spec differs from RunControlled metrics")
+	}
+	if _, err := ParseControllerKind(ControllerTailBudget.String()); err != nil {
+		t.Errorf("ParseControllerKind round-trip: %v", err)
+	}
+}
+
+// TestRunFarmStreamPublicAPI checks the raw telemetry seam export: a
+// do-nothing sink reproduces RunFarm, and the histogram bucket bounds
+// are exposed.
+func TestRunFarmStreamPublicAPI(t *testing.T) {
+	spec := lookupScenario(t, "bursty").Spec
+	ref, err := RunFarm(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := 0
+	got, err := RunFarmStream(spec, 2, 2000, func(w *ControlWindow, act *FarmActuator) error {
+		windows++
+		if len(w.Total.IdleGaps) != len(ControlWindowIdleGapBuckets())+1 {
+			t.Errorf("idle-gap histogram has %d buckets", len(w.Total.IdleGaps))
+		}
+		if len(w.Total.RespHist) != len(ControlWindowRespBuckets())+1 {
+			t.Errorf("response histogram has %d buckets", len(w.Total.RespHist))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows == 0 {
+		t.Fatal("no windows emitted")
+	}
+	rj, _ := json.Marshal(ref)
+	gj, _ := json.Marshal(got)
+	if string(rj) != string(gj) {
+		t.Error("RunFarmStream diverges from RunFarm")
+	}
+}

@@ -1,0 +1,169 @@
+package control
+
+import (
+	"fmt"
+
+	"diskpack/internal/farm"
+	"diskpack/internal/reorg"
+)
+
+// AppliedAction records one controller decision and what became of it.
+type AppliedAction struct {
+	// Window indexes the telemetry window the decision followed.
+	Window int
+	// Action is the controller's request.
+	Action Action
+	// Applied reports whether the actuator accepted it (a re-plan that
+	// outgrows the farm, for example, is skipped, not fatal).
+	Applied bool
+	// Note explains the outcome ("threshold 26.6s", "needs 24 disks,
+	// farm has 20").
+	Note string
+	// Migration accounting of an applied respec.
+	MovedFiles int   `json:",omitempty"`
+	MovedBytes int64 `json:",omitempty"`
+}
+
+// Result is a completed controlled run: the final metrics (exactly
+// what farm.Run returns for the controlled spec), the telemetry
+// windows the controller saw, and the action log.
+type Result struct {
+	// Controller names the controller kind that ran.
+	Controller string
+	// Metrics is the run's unified result.
+	Metrics *farm.Metrics
+	// Windows are the telemetry snapshots, one per epoch.
+	Windows []farm.Window
+	// Actions logs every controller decision in order.
+	Actions []AppliedAction
+}
+
+func init() {
+	// Controlled specs reach farm.Run through this hook; registering it
+	// here makes them runnable by every executor that funnels through
+	// Run — sweeps, shards, the coordinator — the moment this package
+	// is linked in.
+	farm.RegisterControlRunner(func(spec farm.Spec, seed int64) (*farm.Metrics, error) {
+		res, err := RunSpec(spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Metrics, nil
+	})
+}
+
+// RunSpec executes a controlled spec: the scenario runs once,
+// continuously, with the spec's controller observing every epoch
+// window and actuating at its boundary. It is a pure function of
+// (spec, seed) — the controller is deterministic — so repeated runs
+// are byte-identical, which is what lets controlled specs ride the
+// sweep, shard, and coordinator machinery unchanged.
+func RunSpec(spec farm.Spec, seed int64) (*Result, error) {
+	cs := spec.Control
+	if cs == nil {
+		return nil, fmt.Errorf("control: spec %s has no Control — use farm.Run for open-loop runs", spec.Name)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := New(*cs, spec)
+	if err != nil {
+		return nil, err
+	}
+	inner := spec
+	inner.Control = nil
+	res := &Result{Controller: cs.Controller}
+	m, err := farm.RunStream(inner, seed, cs.Epoch, func(w *farm.Window, act *farm.Actuator) error {
+		res.Windows = append(res.Windows, *w)
+		if w.Final {
+			// Nothing follows the final window; deciding on it would
+			// only clutter the action log.
+			return nil
+		}
+		for _, a := range ctrl.Observe(w) {
+			applied, err := apply(a, act)
+			if err != nil {
+				return err
+			}
+			if oc, ok := ctrl.(OutcomeObserver); ok {
+				oc.ActionOutcome(a, applied.Applied)
+			}
+			applied.Window = w.Index
+			res.Actions = append(res.Actions, applied)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	return res, nil
+}
+
+// apply actuates one controller action. Soft failures — a threshold on
+// an untunable group, a re-plan that does not fit the farm — are
+// recorded as unapplied; hard errors (a controller handing back a
+// malformed reallocation) abort the run.
+func apply(a Action, act *farm.Actuator) (AppliedAction, error) {
+	out := AppliedAction{Action: a}
+	switch a.Kind {
+	case ActionSetThreshold:
+		t, err := act.SetGroupThreshold(a.Group, a.Threshold)
+		if err != nil {
+			out.Note = err.Error()
+			return out, nil
+		}
+		out.Applied = true
+		out.Note = fmt.Sprintf("threshold %.3gs", t)
+		return out, nil
+	case ActionRespec:
+		if act.Spec().Alloc.Kind == farm.AllocExplicit {
+			out.Note = "explicit allocation is pinned; nothing to re-plan"
+			return out, nil
+		}
+		for _, d := range act.Assign() {
+			if d < 0 {
+				// The write policy owns unplaced files; a re-plan that
+				// covered them would place data that does not exist yet.
+				out.Note = "live map has unplaced files; re-plan skipped"
+				return out, nil
+			}
+		}
+		prior, err := farm.WorkloadRate(act.Spec())
+		if err != nil {
+			out.Note = err.Error()
+			return out, nil
+		}
+		if err := act.SetWorkloadRate(a.Rate); err != nil {
+			out.Note = err.Error()
+			return out, nil
+		}
+		plan, err := farm.Plan(act.Spec(), act.Seed())
+		if err != nil {
+			return out, fmt.Errorf("control: re-planning at rate %.4g: %w", a.Rate, err)
+		}
+		if plan.DisksUsed > act.FarmSize() {
+			// Skipped, so the live spec must keep reporting the rate the
+			// standing allocation was actually planned at.
+			if err := act.SetWorkloadRate(prior); err != nil {
+				return out, err
+			}
+			out.Note = fmt.Sprintf("plan at rate %.4g needs %d disks, farm has %d", a.Rate, plan.DisksUsed, act.FarmSize())
+			return out, nil
+		}
+		// Relabel the fresh packing against the live one so only
+		// genuinely re-placed files migrate.
+		next := reorg.RelabelForOverlap(act.Assign(), plan.Assign, act.Files(), act.FarmSize())
+		moved, bytes, err := act.Realloc(next)
+		if err != nil {
+			return out, fmt.Errorf("control: reallocating at rate %.4g: %w", a.Rate, err)
+		}
+		out.Applied = true
+		out.MovedFiles = moved
+		out.MovedBytes = bytes
+		out.Note = fmt.Sprintf("replanned at %.4g req/s onto %d disks, moved %d files", a.Rate, plan.DisksUsed, moved)
+		return out, nil
+	default:
+		return out, fmt.Errorf("control: unknown action kind %d", int(a.Kind))
+	}
+}

@@ -1,0 +1,187 @@
+package coord
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The auth satellite, end to end over loopback: an authenticated
+// coordinator serves a correctly-credentialed worker to the
+// byte-identical result and turns everyone else away with 401.
+func TestTokenAuth(t *testing.T) {
+	sweep := fixtureSweep()
+	want := directResult(t, sweep, 4)
+	co, err := New(sweep, 4, Config{Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, co)
+	ctx := testCtx(t)
+
+	// No token: uniform 401 on every route.
+	resp, err := http.Get(srv.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless GET /v1/sweep: %d, want 401", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w"}, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless lease: %d, want 401", resp.StatusCode)
+	}
+
+	// Wrong token: the worker fails fast (401 is fatal, not retried).
+	_, err = Work(ctx, srv.URL, WorkerConfig{Name: "intruder", Parallel: 1, Token: "wrong", Retry: 20 * time.Second})
+	if err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("wrong-token worker: %v, want a 401 failure", err)
+	}
+
+	// Right token: the grid drains and the report matches.
+	done := make(chan error, 1)
+	go func() {
+		_, werr := Work(ctx, srv.URL, WorkerConfig{Name: "trusted", Parallel: 2, Token: "s3cret"})
+		done <- werr
+	}()
+	res, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("trusted worker: %v", werr)
+	}
+	if got := resultJSON(t, res); got != want {
+		t.Error("authenticated run differs from the single-process run")
+	}
+}
+
+// Adaptive lease sizing: the EWMA of observed point wall time shrinks
+// the batch so a lease's worth of work fits half its timeout, with
+// BatchSize as the hard cap and FixedBatch as the off switch.
+func TestAdaptiveBatchSizing(t *testing.T) {
+	sweep := fixtureSweep()
+	co, err := New(sweep, 9, Config{LeaseTimeout: 10 * time.Second, BatchSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	clock := time.Now()
+	co.now = func() time.Time { return clock }
+
+	// No observations yet: full batch.
+	if got := co.Status().Batch; got != 6 {
+		t.Fatalf("pre-observation batch %d, want 6", got)
+	}
+
+	// Simulate: a lease granted now, submitted 4 s later — EWMA 4 s,
+	// so only one 4 s point fits half of a 10 s lease.
+	co.mu.Lock()
+	co.state[0].status = statusLeased
+	co.state[0].grantedAt = clock
+	co.mu.Unlock()
+	clock = clock.Add(4 * time.Second)
+	pr, err := co.comp.RunPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, co)
+	if resp := postJSON(t, srv.URL+"/v1/submit", SubmitRequest{Worker: "w", Point: pr}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	st := co.Status()
+	if st.EwmaPointSeconds != 4 {
+		t.Errorf("EWMA %v, want 4", st.EwmaPointSeconds)
+	}
+	if st.Batch != 1 {
+		t.Errorf("batch after a 4 s point %d, want 1", st.Batch)
+	}
+
+	// A lease request for "as many as possible" now gets exactly one.
+	var lease LeaseResponse
+	if resp := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w", Max: 0}, &lease); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease: %d", resp.StatusCode)
+	}
+	if len(lease.Points) != 1 {
+		t.Errorf("adaptive lease granted %d points, want 1", len(lease.Points))
+	}
+
+	// Fast points re-grow the batch toward the cap.
+	co.mu.Lock()
+	co.ewmaSec = 0.5
+	if got := co.batchLocked(); got != 6 {
+		t.Errorf("fast-point batch %d, want the cap 6", got)
+	}
+	// FixedBatch ignores the EWMA entirely.
+	co.cfg.FixedBatch = true
+	co.ewmaSec = 100
+	if got := co.batchLocked(); got != 6 {
+		t.Errorf("fixed batch %d, want 6", got)
+	}
+	co.mu.Unlock()
+}
+
+// On a grid with a strong cost gradient, adaptive batches cut the tail
+// wall-clock: a deterministic scheduling model (two workers pulling
+// batches of points whose costs ramp) finishes later under fixed
+// full-size batches than under EWMA-sized ones, because a fixed batch
+// near the expensive corner stays glued to one worker while the other
+// drains.
+func TestAdaptiveBatchShrinksTail(t *testing.T) {
+	// Point costs ramp 1..40 seconds across 40 points.
+	costs := make([]float64, 40)
+	for i := range costs {
+		costs[i] = float64(i + 1)
+	}
+	const (
+		lease = 60.0
+		cap   = 8
+	)
+	makespan := func(adaptive bool) float64 {
+		next := 0
+		var ewma float64
+		grab := func() []float64 {
+			n := cap
+			if adaptive && ewma > 0 {
+				n = int(lease * batchLeaseFraction / ewma)
+				if n < 1 {
+					n = 1
+				}
+				if n > cap {
+					n = cap
+				}
+			}
+			if n > len(costs)-next {
+				n = len(costs) - next
+			}
+			batch := costs[next : next+n]
+			next += n
+			return batch
+		}
+		var w1, w2 float64 // each worker's clock
+		for next < len(costs) {
+			// The idle worker grabs the next batch.
+			w := &w1
+			if w2 < w1 {
+				w = &w2
+			}
+			for _, c := range grab() {
+				*w += c
+				if ewma == 0 {
+					ewma = c
+				} else {
+					ewma = 0.3*c + 0.7*ewma
+				}
+			}
+		}
+		if w1 > w2 {
+			return w1
+		}
+		return w2
+	}
+	fixed, adaptive := makespan(false), makespan(true)
+	if adaptive >= fixed {
+		t.Errorf("adaptive makespan %v not under fixed %v", adaptive, fixed)
+	}
+}

@@ -20,6 +20,8 @@ package coord
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,10 +66,29 @@ type Config struct {
 	// so workers between polls read their Done instead of a vanished
 	// listener. Zero means DefaultLinger; negative is rejected.
 	Linger time.Duration
+	// Token, when non-empty, requires every protocol request to carry
+	// "Authorization: Bearer <Token>" (compared in constant time;
+	// mismatches get 401) — the shared secret that lets a pool cross a
+	// trust boundary. Transport privacy is still the deployment's
+	// problem: put TLS in front for hostile networks.
+	Token string
+	// FixedBatch disables adaptive lease sizing: every lease hands out
+	// up to BatchSize points regardless of how long points are taking.
+	// By default the coordinator sizes leases by an EWMA of observed
+	// per-point wall time, so a batch is expected to finish within half
+	// a lease — on grids with strong cost gradients a fixed batch near
+	// the expensive corner outlives its lease and thrashes as expired
+	// re-leases. BatchSize remains the hard cap either way.
+	FixedBatch bool
 	// OnListen, when non-nil, is called by Serve once the listener is
 	// bound — how callers learn the actual address of ":0".
 	OnListen func(addr net.Addr)
 }
+
+// batchLeaseFraction is the lease fraction an adaptively sized batch
+// is expected to fill: half, leaving renewal slack for heartbeats and
+// per-point variance.
+const batchLeaseFraction = 0.5
 
 // validate applies defaults and rejects out-of-range values loudly.
 func (c *Config) validate() error {
@@ -152,9 +173,13 @@ type (
 		Index  int
 		Error  string
 	}
-	// Status is the GET /v1/status response: queue counters.
+	// Status is the GET /v1/status response: queue counters plus the
+	// adaptive-batch observables (EwmaPointSeconds is 0 until the
+	// first submission lands; Batch is the current lease cap).
 	Status struct {
 		Total, Done, Leased, Pending, Recovered int
+		EwmaPointSeconds                        float64
+		Batch                                   int
 	}
 )
 
@@ -172,6 +197,10 @@ type pointState struct {
 	status   pointStatus
 	worker   string
 	deadline time.Time
+	// grantedAt is when the live lease was handed out — the submit
+	// that completes the point turns it into a wall-time observation
+	// for adaptive batch sizing.
+	grantedAt time.Time
 }
 
 // Coordinator owns a compiled grid's point queue and its HTTP
@@ -189,6 +218,10 @@ type Coordinator struct {
 	recovered int
 	failed    error // terminal fault (journal write failure)
 	done      chan struct{}
+	// ewmaSec is the exponentially weighted average of observed
+	// per-point wall seconds (0 until the first submission); it sizes
+	// lease batches unless cfg.FixedBatch.
+	ewmaSec float64
 
 	// journalMu serializes journal appends outside mu, so an fsync
 	// never stalls leases, heartbeats, or status reads.
@@ -264,7 +297,12 @@ func (co *Coordinator) Status() Status {
 }
 
 func (co *Coordinator) statusLocked() Status {
-	s := Status{Total: len(co.state), Recovered: co.recovered}
+	s := Status{
+		Total:            len(co.state),
+		Recovered:        co.recovered,
+		EwmaPointSeconds: co.ewmaSec,
+		Batch:            co.batchLocked(),
+	}
 	now := co.now()
 	for i := range co.state {
 		switch {
@@ -327,7 +365,8 @@ func (co *Coordinator) RemoveJournal() error {
 	return nil
 }
 
-// Handler returns the coordinator's HTTP protocol surface.
+// Handler returns the coordinator's HTTP protocol surface. With
+// Config.Token set, every route demands the bearer token first.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/sweep", co.handleSweep)
@@ -336,7 +375,27 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/submit", co.handleSubmit)
 	mux.HandleFunc("POST /v1/fail", co.handleFail)
 	mux.HandleFunc("GET /v1/status", co.handleStatus)
-	return mux
+	if co.cfg.Token == "" {
+		return mux
+	}
+	return authHandler(co.cfg.Token, mux)
+}
+
+// authHandler rejects requests whose Authorization header does not
+// carry the expected bearer token. The comparison is constant-time, so
+// the secret cannot be fished out byte by byte; 401 is deliberately
+// uniform for a missing, malformed, or wrong credential.
+func authHandler(token string, next http.Handler) http.Handler {
+	want := sha256.Sum256([]byte("Bearer " + token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(r.Header.Get("Authorization")))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="coord"`)
+			http.Error(w, "coord: missing or wrong worker token (run with -token)", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -347,18 +406,39 @@ func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, co.Status())
 }
 
+// batchLocked returns the current lease cap: BatchSize, shrunk — when
+// adaptive sizing is on and observations exist — so the expected batch
+// wall time fits batchLeaseFraction of a lease. A batch that outlives
+// its lease re-queues mid-flight and thrashes the pool; on grids with
+// strong cost gradients the EWMA tracks the gradient and the batches
+// shrink with it.
+func (co *Coordinator) batchLocked() int {
+	if co.cfg.FixedBatch || co.ewmaSec <= 0 {
+		return co.cfg.BatchSize
+	}
+	n := int(co.cfg.LeaseTimeout.Seconds() * batchLeaseFraction / co.ewmaSec)
+	if n < 1 {
+		return 1
+	}
+	if n > co.cfg.BatchSize {
+		return co.cfg.BatchSize
+	}
+	return n
+}
+
 func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("coord: decoding lease request: %v", err), http.StatusBadRequest)
 		return
 	}
-	max := req.Max
-	if max < 1 || max > co.cfg.BatchSize {
-		max = co.cfg.BatchSize
-	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	batch := co.batchLocked()
+	max := req.Max
+	if max < 1 || max > batch {
+		max = batch
+	}
 	now := co.now()
 	resp := LeaseResponse{LeaseSeconds: co.cfg.LeaseTimeout.Seconds(), Done: co.pending == 0}
 	for i := range co.state {
@@ -374,6 +454,7 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		s.status = statusLeased
 		s.worker = req.Worker
 		s.deadline = now.Add(co.cfg.LeaseTimeout)
+		s.grantedAt = now
 		resp.Points = append(resp.Points, co.comp.Descriptor(i))
 	}
 	writeJSON(w, resp)
@@ -472,6 +553,19 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Another submit of the same point won the fsync race.
 		writeJSON(w, SubmitResponse{Duplicate: true, Done: co.pending == 0})
 		return
+	}
+	if !s.grantedAt.IsZero() {
+		// Lease-to-submit wall time feeds the adaptive batch EWMA.
+		// Points later in a batch include their queue wait — an
+		// overestimate that shrinks the next batch, which is the
+		// correction we want.
+		if dur := co.now().Sub(s.grantedAt).Seconds(); dur >= 0 {
+			if co.ewmaSec <= 0 {
+				co.ewmaSec = dur
+			} else {
+				co.ewmaSec = 0.3*dur + 0.7*co.ewmaSec
+			}
+		}
 	}
 	s.status = statusDone
 	s.worker = req.Worker

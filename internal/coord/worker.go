@@ -44,6 +44,10 @@ type WorkerConfig struct {
 	// (connection refused while the coordinator boots, a dropped
 	// conn). Zero means 30s; exceeding it fails the worker.
 	Retry time.Duration
+	// Token is the coordinator's shared secret (Config.Token); sent as
+	// a bearer credential on every request. A wrong or missing token
+	// against an authenticated coordinator fails fast with 401.
+	Token string
 }
 
 // validate applies defaults and rejects out-of-range values loudly.
@@ -409,6 +413,9 @@ func (w *worker) once(ctx context.Context, method, path string, in, out any) err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {

@@ -495,6 +495,18 @@ func (d *Disk) EnergyAt(t sim.Time) float64 {
 // last state change).
 func (d *Disk) StateDuration(s State) float64 { return d.stateDur[s] }
 
+// StateDurationAt returns the cumulative time spent in state s through
+// simulated time t >= the last state change, extending the open segment
+// — the mid-run counterpart of StateDuration, which misses the segment
+// still in progress.
+func (d *Disk) StateDurationAt(s State, t sim.Time) float64 {
+	dur := d.stateDur[s]
+	if d.state == s {
+		dur += t - d.lastChange
+	}
+	return dur
+}
+
 // Breakdown summarizes where a disk's time and energy went.
 type Breakdown struct {
 	Durations [numStates]float64

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+
+	"diskpack/internal/control"
+	"diskpack/internal/farm"
+)
+
+// StaticVsControlled regenerates the online-control headline result as
+// a table: the heavy diurnal workload under every static spin-down
+// threshold and under the tail-budget controller, one row per policy.
+// The final column marks SLO feasibility, so the table reads exactly
+// like the paper's operating-point search — except the winning row is
+// picked at runtime by a controller, not offline by the sweep.
+// Options.Scale shrinks the horizon (full scale is four days; the
+// controller banks tail budget by day and spends it at night, so very
+// short horizons understate it).
+func StaticVsControlled(opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sc, ok := farm.Lookup("static-vs-controlled")
+	if !ok || sc.Grid == nil {
+		return nil, fmt.Errorf("exp: static-vs-controlled scenario not registered")
+	}
+	grid := *sc.Grid
+	base := grid.Base
+	cfg := *base.Workload.Synthetic
+	cfg.Duration *= opts.Scale
+	if cfg.Duration < 43200 {
+		cfg.Duration = 43200 // at least half a diurnal cycle
+	}
+	base.Workload = farm.SyntheticWorkload(cfg)
+	grid.Base = base
+
+	res, err := farm.RunSweep(grid, opts.Seed, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	budget := grid.Select.MaxP95
+	t := &Table{
+		Name:    "control",
+		Title:   fmt.Sprintf("static thresholds vs the %s controller, diurnal load (p95 SLO %g s)", control.KindTailBudget, budget),
+		XLabel:  "point",
+		Columns: []string{"energyMJ", "p95s", "savingPct", "spinups", "meetsSLO"},
+	}
+	for i := range res.Points {
+		m := res.Points[i].Metrics
+		meets := 0.0
+		if m.RespP95 <= budget {
+			meets = 1
+		}
+		t.AddRow(float64(i), m.Energy/1e6, m.RespP95, m.PowerSavingRatio*100, float64(m.SpinUps), meets)
+		t.Notes = append(t.Notes, fmt.Sprintf("point %d: %s", i, res.Points[i].Label))
+	}
+	if res.Best >= 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("operating point: %s", res.Points[res.Best].Label))
+	}
+	return t, nil
+}

@@ -226,12 +226,13 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"policies":    single(Policies),
 	"analysis":    single(Analysis),
 	"reorg":       single(Reorg),
+	"control":     single(StaticVsControlled),
 }
 
 // Names returns the registry keys an "all" run executes, in a stable
 // order that avoids recomputing shared sweeps.
 func Names() []string {
-	return []string{"table1", "table2", "packquality", "scaling", "fig23", "fig4", "fig56", "vsweep", "policies", "analysis", "reorg"}
+	return []string{"table1", "table2", "packquality", "scaling", "fig23", "fig4", "fig56", "vsweep", "policies", "analysis", "reorg", "control"}
 }
 
 func single(fn func(Options) (*Table, error)) func(Options) ([]*Table, error) {

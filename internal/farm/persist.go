@@ -111,7 +111,7 @@ func (k SpinKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil
 // UnmarshalText parses a SpinKind name.
 func (k *SpinKind) UnmarshalText(text []byte) error {
 	v, err := enumFromText(text, "spin kind", func(s string) (SpinKind, bool) {
-		for _, c := range []SpinKind{SpinBreakEven, SpinFixed, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized} {
+		for _, c := range []SpinKind{SpinBreakEven, SpinFixed, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized, SpinTailAware} {
 			if c.String() == s {
 				return c, true
 			}

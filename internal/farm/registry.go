@@ -61,6 +61,11 @@ type Scenario struct {
 	// Sweep, when non-nil, runs the spec once per threshold and selects
 	// an operating point (see SLOSweep).
 	Sweep *SLOSweep
+	// Grid, when non-nil, runs a full declarative sweep instead of the
+	// single Spec — scenarios whose point set is richer than a
+	// threshold search (e.g. static-vs-controlled comparisons) declare
+	// it here. Takes precedence over Sweep.
+	Grid *Sweep
 }
 
 // Result is the outcome of running a scenario: one Metrics per run
@@ -93,6 +98,11 @@ func Register(sc Scenario) {
 	}
 	if sc.Sweep != nil {
 		if err := sc.Sweep.validate(); err != nil {
+			panic(fmt.Sprintf("farm: scenario %q: %v", sc.Name, err))
+		}
+	}
+	if sc.Grid != nil {
+		if err := sc.Grid.Validate(); err != nil {
 			panic(fmt.Sprintf("farm: scenario %q: %v", sc.Name, err))
 		}
 	}
@@ -140,18 +150,24 @@ func RunScenario(name string, seed int64) (*Result, error) {
 }
 
 // runScenario executes an already-resolved scenario. Threshold sweeps
-// go through the grid engine: every point runs with the scenario's seed
-// (so the workload draw is shared and points stay comparable), fanned
-// across the machine's cores.
+// and grid scenarios go through the grid engine: every point runs with
+// the scenario's seed (so the workload draw is shared and points stay
+// comparable), fanned across the machine's cores.
 func runScenario(sc Scenario, seed int64) (*Result, error) {
-	if sc.Sweep == nil {
+	var grid Sweep
+	switch {
+	case sc.Grid != nil:
+		grid = *sc.Grid
+	case sc.Sweep != nil:
+		grid = sc.Sweep.Grid(sc.Name, sc.Spec)
+	default:
 		m, err := Run(sc.Spec, seed)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Scenario: sc, Labels: []string{sc.Spec.Name}, Runs: []*Metrics{m}, Best: 0}, nil
 	}
-	sr, err := RunSweep(sc.Sweep.Grid(sc.Name, sc.Spec), seed, 0)
+	sr, err := RunSweep(grid, seed, 0)
 	if err != nil {
 		return nil, err
 	}

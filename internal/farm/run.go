@@ -197,33 +197,25 @@ func (s Spec) spinConfig(perDisk []disk.Params, seed int64) (threshold float64, 
 		return 0, func(i int) disk.SpinPolicy { return policy.NewAdaptive(paramsAt(i)) }, nil
 	case SpinRandomized:
 		return 0, func(i int) disk.SpinPolicy { return policy.NewRandomized(paramsAt(i), seed+int64(i)) }, nil
+	case SpinTailAware:
+		// Un-controlled runs behave as a fixed threshold at the initial
+		// value; RunStream installs the shared per-group knobs instead.
+		return 0, func(i int) disk.SpinPolicy { return policy.NewTunable(paramsAt(i), s.Spin.Threshold) }, nil
 	default:
 		return 0, nil, fmt.Errorf("farm: unknown spin kind %d", int(s.Spin.Kind))
 	}
 }
 
-// Run compiles the spec into a simulation and executes it. It is a pure
-// function of (spec, seed): the same inputs always produce identical
-// Metrics.
-func Run(spec Spec, seed int64) (*Metrics, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	tr, err := BuildTrace(spec.Workload, seed)
-	if err != nil {
-		return nil, fmt.Errorf("farm %s: workload: %w", spec.Name, err)
-	}
-	alloc, err := spec.allocate(tr, seed+1)
-	if err != nil {
-		return nil, fmt.Errorf("farm %s: allocation: %w", spec.Name, err)
-	}
-
+// resolveFarmSize settles the simulated farm size against the
+// allocation and the spec's layout, returning the heterogeneous
+// per-disk parameter slice (nil for homogeneous farms).
+func resolveFarmSize(spec Spec, alloc *Allocation) (int, []disk.Params, error) {
 	farmSize := alloc.DisksUsed
 	perDisk := spec.perDiskParams()
 	if len(perDisk) > 0 {
 		farmSize = len(perDisk)
 		if alloc.DisksUsed > farmSize {
-			return nil, fmt.Errorf("farm %s: allocation uses %d disks but groups provide only %d",
+			return 0, nil, fmt.Errorf("farm %s: allocation uses %d disks but groups provide only %d",
 				spec.Name, alloc.DisksUsed, farmSize)
 		}
 	} else if spec.FarmSize > farmSize {
@@ -232,23 +224,11 @@ func Run(spec Spec, seed int64) (*Metrics, error) {
 	if farmSize < 1 {
 		farmSize = 1
 	}
+	return farmSize, perDisk, nil
+}
 
-	threshold, factory, err := spec.spinConfig(perDisk, seed+2)
-	if err != nil {
-		return nil, err
-	}
-	res, err := storage.Run(tr, alloc.Assign, storage.Config{
-		NumDisks:      farmSize,
-		PerDisk:       perDisk,
-		IdleThreshold: threshold,
-		PolicyFactory: factory,
-		CacheBytes:    spec.CacheBytes,
-		WriteBestFit:  spec.WriteBestFit,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)
-	}
-
+// assembleMetrics folds a simulation result into the unified Metrics.
+func assembleMetrics(spec Spec, seed int64, farmSize int, alloc *Allocation, res *storage.Results) *Metrics {
 	m := &Metrics{
 		Spec:             spec.Name,
 		Seed:             seed,
@@ -280,5 +260,63 @@ func Run(spec Spec, seed int64) (*Metrics, error) {
 			m.Utilization[i] = (b.Durations[disk.Seeking] + b.Durations[disk.Transferring]) / res.Duration
 		}
 	}
-	return m, nil
+	return m
+}
+
+// controlRunner executes controlled specs (Spec.Control != nil). The
+// farm engine cannot depend on internal/control — control sits above
+// it — so control registers its executor here at init time, and Run
+// dispatches through the hook. Every grid executor (sweeps, shards,
+// the coordinator) funnels through Run, so registering once makes
+// controlled specs first-class everywhere.
+var controlRunner func(Spec, int64) (*Metrics, error)
+
+// RegisterControlRunner installs the executor for controlled specs
+// (called by internal/control's init).
+func RegisterControlRunner(fn func(Spec, int64) (*Metrics, error)) { controlRunner = fn }
+
+// Run compiles the spec into a simulation and executes it. It is a pure
+// function of (spec, seed): the same inputs always produce identical
+// Metrics. Controlled specs (Spec.Control != nil) dispatch to the
+// closed-loop executor internal/control registers; everything else
+// runs open-loop here.
+func Run(spec Spec, seed int64) (*Metrics, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Control != nil {
+		if controlRunner == nil {
+			return nil, fmt.Errorf("farm %s: spec asks for controller %q but no control runner is registered (import internal/control)",
+				spec.Name, spec.Control.Controller)
+		}
+		return controlRunner(spec, seed)
+	}
+	tr, err := BuildTrace(spec.Workload, seed)
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: workload: %w", spec.Name, err)
+	}
+	alloc, err := spec.allocate(tr, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: allocation: %w", spec.Name, err)
+	}
+	farmSize, perDisk, err := resolveFarmSize(spec, alloc)
+	if err != nil {
+		return nil, err
+	}
+	threshold, factory, err := spec.spinConfig(perDisk, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	res, err := storage.Run(tr, alloc.Assign, storage.Config{
+		NumDisks:      farmSize,
+		PerDisk:       perDisk,
+		IdleThreshold: threshold,
+		PolicyFactory: factory,
+		CacheBytes:    spec.CacheBytes,
+		WriteBestFit:  spec.WriteBestFit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)
+	}
+	return assembleMetrics(spec, seed, farmSize, alloc, res), nil
 }

@@ -241,6 +241,12 @@ const (
 	// SpinRandomized draws each timeout from the e/(e−1)-competitive
 	// distribution.
 	SpinRandomized
+	// SpinTailAware is a threshold an online controller retunes while
+	// the simulation runs (one shared knob per disk group, actuated at
+	// epoch boundaries — see RunStream and internal/control). Without a
+	// controller it behaves as a fixed threshold at SpinSpec.Threshold,
+	// or the drive's break-even time when Threshold is zero.
+	SpinTailAware
 )
 
 // String names the kind.
@@ -258,6 +264,8 @@ func (k SpinKind) String() string {
 		return "adaptive"
 	case SpinRandomized:
 		return "randomized"
+	case SpinTailAware:
+		return "tailaware"
 	default:
 		return fmt.Sprintf("SpinKind(%d)", int(k))
 	}
@@ -277,9 +285,9 @@ func FixedSpin(seconds float64) SpinSpec { return SpinSpec{Kind: SpinFixed, Thre
 // validate reports the first inconsistency.
 func (s SpinSpec) validate() error {
 	switch s.Kind {
-	case SpinFixed:
+	case SpinFixed, SpinTailAware:
 		if s.Threshold < 0 || math.IsNaN(s.Threshold) {
-			return fmt.Errorf("farm: invalid fixed spin threshold %v", s.Threshold)
+			return fmt.Errorf("farm: invalid %v spin threshold %v", s.Kind, s.Threshold)
 		}
 		return nil
 	case SpinBreakEven, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized:
@@ -290,6 +298,49 @@ func (s SpinSpec) validate() error {
 	default:
 		return fmt.Errorf("farm: unknown spin kind %d", int(s.Kind))
 	}
+}
+
+// ControlSpec asks for a closed-loop run: the simulation is windowed
+// into Epoch-length telemetry snapshots and the named controller
+// (resolved by internal/control through the runner registered with
+// RegisterControlRunner) observes each window and actuates — retuning
+// SpinTailAware group thresholds, or re-planning the allocation
+// against the observed arrival rate. It is pure data, so controlled
+// specs serialize, sweep, shard, and coordinate exactly like static
+// ones; controllers themselves are deterministic, keeping
+// Run(spec, seed) a pure function.
+type ControlSpec struct {
+	// Controller names the controller kind ("tail-budget",
+	// "rate-respec"; internal/control owns the vocabulary).
+	Controller string
+	// Epoch is the telemetry window length in seconds.
+	Epoch float64
+	// BudgetP95 is the response-time budget in seconds the tail-budget
+	// controller defends (0 = the controller's default).
+	BudgetP95 float64 `json:",omitempty"`
+	// RespecFactor is the observed/planned rate ratio beyond which the
+	// rate-respec controller re-plans the allocation (0 = default).
+	RespecFactor float64 `json:",omitempty"`
+	// Alpha is the rate-respec controller's EWMA weight in (0, 1]
+	// (0 = default).
+	Alpha float64 `json:",omitempty"`
+}
+
+// validate reports the first inconsistency.
+func (c ControlSpec) validate() error {
+	switch {
+	case c.Controller == "":
+		return fmt.Errorf("farm: control spec without a controller name")
+	case !(c.Epoch > 0) || math.IsNaN(c.Epoch):
+		return fmt.Errorf("farm: control epoch %v must be positive", c.Epoch)
+	case c.BudgetP95 < 0 || math.IsNaN(c.BudgetP95):
+		return fmt.Errorf("farm: invalid control budget %v", c.BudgetP95)
+	case c.RespecFactor != 0 && (c.RespecFactor <= 1 || math.IsNaN(c.RespecFactor)):
+		return fmt.Errorf("farm: respec factor %v must exceed 1 (or 0 for the default)", c.RespecFactor)
+	case c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha):
+		return fmt.Errorf("farm: EWMA weight %v outside [0,1]", c.Alpha)
+	}
+	return nil
 }
 
 // Spec declares one simulation scenario. The zero value is not valid;
@@ -318,6 +369,11 @@ type Spec struct {
 	// WriteBestFit switches write placement from first-fit to best-fit
 	// among spinning disks.
 	WriteBestFit bool `json:",omitempty"`
+	// Control, when non-nil, runs the scenario closed-loop: windowed
+	// telemetry feeds the named online controller (internal/control),
+	// which actuates at epoch boundaries. Run dispatches such specs to
+	// the registered control runner.
+	Control *ControlSpec `json:",omitempty"`
 }
 
 // Validate reports the first invalid field.
@@ -347,6 +403,11 @@ func (s Spec) Validate() error {
 	}
 	if s.CacheBytes < 0 {
 		return fmt.Errorf("farm: negative cache size %d", s.CacheBytes)
+	}
+	if s.Control != nil {
+		if err := s.Control.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

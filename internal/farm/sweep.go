@@ -46,6 +46,18 @@ const (
 	// AxisSeed leaves the spec alone and offsets the point seed by
 	// int64(v) — independent replications for error bars.
 	AxisSeed
+	// AxisController varies the online controller: grid positions are
+	// controller kind names carried in Names ("static" or "none" clears
+	// Control for an open-loop point; any other name requires the base
+	// spec to carry a Control for the epoch and budget). Serializable,
+	// so controlled grids shard and coordinate like any other.
+	AxisController
+	// AxisExplicitAlloc varies the allocation over per-position explicit
+	// file→disk maps carried in Assigns — how the reorg engine turns its
+	// per-epoch candidate evaluation into a shardable sweep. Not
+	// expressible from the CLI grammar (the maps do not fit a flag), but
+	// fully serializable.
+	AxisExplicitAlloc
 	// AxisCustom applies a caller-provided function to the spec. Labels
 	// must name each grid position and Apply must be non-nil. Custom
 	// axes cannot be serialized to JSON.
@@ -63,6 +75,8 @@ var axisKindNames = map[AxisKind]string{
 	AxisArrivalRate:   "rate",
 	AxisAllocKind:     "alloc",
 	AxisSeed:          "seed",
+	AxisController:    "control",
+	AxisExplicitAlloc: "assign",
 	AxisCustom:        "custom",
 }
 
@@ -87,6 +101,12 @@ type Axis struct {
 	// Labels optionally name each grid position (required for
 	// AxisCustom, where there are no Values).
 	Labels []string `json:",omitempty"`
+	// Names are the grid coordinates of an AxisController: controller
+	// kind names, plus "static"/"none" for the open-loop point.
+	Names []string `json:",omitempty"`
+	// Assigns are the grid coordinates of an AxisExplicitAlloc: one
+	// explicit file→disk map per position.
+	Assigns [][]int `json:",omitempty"`
 	// SeedStep offsets a point's seed by SeedStep × (index along this
 	// axis), so one axis can carry independent workload draws while the
 	// others stay comparable.
@@ -99,8 +119,13 @@ type Axis struct {
 
 // size returns the number of grid positions on the axis.
 func (a Axis) size() int {
-	if a.Kind == AxisCustom {
+	switch a.Kind {
+	case AxisCustom:
 		return len(a.Labels)
+	case AxisController:
+		return len(a.Names)
+	case AxisExplicitAlloc:
+		return len(a.Assigns)
 	}
 	return len(a.Values)
 }
@@ -118,6 +143,12 @@ func (a Axis) label(i int) string {
 	if i < len(a.Labels) {
 		return a.Labels[i]
 	}
+	switch a.Kind {
+	case AxisController:
+		return fmt.Sprintf("%s=%s", a.name(), a.Names[i])
+	case AxisExplicitAlloc:
+		return fmt.Sprintf("%s=%d", a.name(), i)
+	}
 	v := a.Values[i]
 	switch a.Kind {
 	case AxisSpinThreshold:
@@ -133,12 +164,45 @@ func (a Axis) label(i int) string {
 
 // validate reports the first inconsistency.
 func (a Axis) validate() error {
-	if a.Kind == AxisCustom {
+	switch a.Kind {
+	case AxisCustom:
 		if len(a.Labels) == 0 {
 			return fmt.Errorf("farm: custom axis %q without labels", a.Name)
 		}
 		if a.Apply == nil {
 			return fmt.Errorf("farm: custom axis %q without an Apply function", a.Name)
+		}
+		return nil
+	case AxisController:
+		if len(a.Names) == 0 {
+			return fmt.Errorf("farm: controller axis %q has no controller names", a.name())
+		}
+		for i, n := range a.Names {
+			if n == "" {
+				return fmt.Errorf("farm: controller axis %q name %d is empty", a.name(), i)
+			}
+		}
+		if len(a.Values) > 0 {
+			return fmt.Errorf("farm: controller axis %q carries values (names go in Names)", a.name())
+		}
+		if len(a.Labels) > 0 && len(a.Labels) != len(a.Names) {
+			return fmt.Errorf("farm: axis %q has %d labels for %d names", a.name(), len(a.Labels), len(a.Names))
+		}
+		return nil
+	case AxisExplicitAlloc:
+		if len(a.Assigns) == 0 {
+			return fmt.Errorf("farm: explicit-alloc axis %q has no assignments", a.name())
+		}
+		for i, as := range a.Assigns {
+			if len(as) == 0 {
+				return fmt.Errorf("farm: explicit-alloc axis %q assignment %d is empty", a.name(), i)
+			}
+		}
+		if len(a.Values) > 0 {
+			return fmt.Errorf("farm: explicit-alloc axis %q carries values (maps go in Assigns)", a.name())
+		}
+		if len(a.Labels) > 0 && len(a.Labels) != len(a.Assigns) {
+			return fmt.Errorf("farm: axis %q has %d labels for %d assignments", a.name(), len(a.Labels), len(a.Assigns))
 		}
 		return nil
 	}
@@ -184,26 +248,23 @@ func (a Axis) apply(spec *Spec, i int, coord []int) error {
 	case AxisSeed:
 		// Seed offsets are handled during point compilation.
 	case AxisArrivalRate:
-		v := a.Values[i]
-		switch spec.Workload.Kind {
-		case WorkloadSynthetic:
-			cfg := *spec.Workload.Synthetic
-			cfg.ArrivalRate = v
-			spec.Workload.Synthetic = &cfg
-		case WorkloadBursty:
-			cfg := *spec.Workload.Bursty
-			cfg.OnRate = v
-			spec.Workload.Bursty = &cfg
-		case WorkloadNERSC:
-			if v <= 0 {
-				return fmt.Errorf("farm: arrival rate %v must be positive", v)
-			}
-			cfg := *spec.Workload.NERSC
-			cfg.Duration = float64(cfg.NumRequests) / v
-			spec.Workload.NERSC = &cfg
-		default:
-			return fmt.Errorf("farm: arrival-rate axis cannot vary a %v workload", spec.Workload.Kind)
+		if err := setWorkloadRate(spec, a.Values[i]); err != nil {
+			return err
 		}
+	case AxisController:
+		name := a.Names[i]
+		if name == "static" || name == "none" {
+			spec.Control = nil
+			break
+		}
+		if spec.Control == nil {
+			return fmt.Errorf("farm: controller axis needs a base spec with Control (it carries the epoch and budget)")
+		}
+		cs := *spec.Control
+		cs.Controller = name
+		spec.Control = &cs
+	case AxisExplicitAlloc:
+		spec.Alloc = Explicit(a.Assigns[i])
 	default:
 		return fmt.Errorf("farm: unknown axis kind %d", int(a.Kind))
 	}
@@ -633,9 +694,11 @@ func parallelFor(ctx context.Context, n, workers int, fn func(i int) error) erro
 }
 
 // ParseAxis parses the -sweep flag grammar "dim=v1,v2,..." where dim is
-// an AxisKind name (threshold, farm, cache, L, v, rate, alloc, seed)
-// and values are numbers — except alloc, whose values are allocation
-// kind names (pack, packv, random, firstfit, ffd, bestfit, chp).
+// an AxisKind name (threshold, farm, cache, L, v, rate, alloc, seed,
+// control) and values are numbers — except alloc, whose values are
+// allocation kind names (pack, packv, random, firstfit, ffd, bestfit,
+// chp), and control, whose values are controller names ("static" for
+// the open-loop point).
 func ParseAxis(s string) (Axis, error) {
 	dim, list, ok := strings.Cut(s, "=")
 	if !ok {
@@ -644,13 +707,15 @@ func ParseAxis(s string) (Axis, error) {
 	var kind AxisKind
 	found := false
 	for k, n := range axisKindNames {
-		if n == dim && k != AxisCustom {
+		// Custom axes carry Go functions and explicit-alloc axes whole
+		// file→disk maps; neither fits a flag.
+		if n == dim && k != AxisCustom && k != AxisExplicitAlloc {
 			kind, found = k, true
 			break
 		}
 	}
 	if !found {
-		return Axis{}, fmt.Errorf("farm: unknown axis dimension %q (have threshold, farm, cache, L, v, rate, alloc, seed)", dim)
+		return Axis{}, fmt.Errorf("farm: unknown axis dimension %q (have threshold, farm, cache, L, v, rate, alloc, seed, control)", dim)
 	}
 	a := Axis{Kind: kind}
 	for _, field := range strings.Split(list, ",") {
@@ -658,19 +723,22 @@ func ParseAxis(s string) (Axis, error) {
 		if field == "" {
 			continue
 		}
-		if kind == AxisAllocKind {
+		switch kind {
+		case AxisAllocKind:
 			ak, err := parseAllocKind(field)
 			if err != nil {
 				return Axis{}, err
 			}
 			a.Values = append(a.Values, float64(ak))
-			continue
+		case AxisController:
+			a.Names = append(a.Names, field)
+		default:
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return Axis{}, fmt.Errorf("farm: axis %s value %q: %w", dim, field, err)
+			}
+			a.Values = append(a.Values, v)
 		}
-		v, err := strconv.ParseFloat(field, 64)
-		if err != nil {
-			return Axis{}, fmt.Errorf("farm: axis %s value %q: %w", dim, field, err)
-		}
-		a.Values = append(a.Values, v)
 	}
 	if err := a.validate(); err != nil {
 		return Axis{}, err

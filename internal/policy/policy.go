@@ -56,6 +56,68 @@ func (f *Fixed) ObserveIdle(float64) {}
 // String names the policy.
 func (f *Fixed) String() string { return fmt.Sprintf("fixed(%.3gs)", f.T) }
 
+// Tunable is a fixed idleness threshold an external control loop can
+// retune while the simulation runs — the actuator of the online
+// tail-budget controller (internal/control). One Tunable is shared by
+// every disk of a farm group, so a single Set moves the whole group;
+// the new timeout takes effect from each disk's next idle-period
+// arming (a timer already armed keeps the timeout it was armed with,
+// which keeps retuning deterministic and causally clean).
+type Tunable struct {
+	T        float64
+	Min, Max float64
+}
+
+// NewTunable returns a tunable threshold centred on the drive's
+// break-even time: initial T = start (break-even when start is 0),
+// with the retuning range [break-even/8, 64×break-even] widened to
+// include the start value — an explicit initial threshold is honoured
+// exactly, never clamped away.
+func NewTunable(p disk.Params, start float64) *Tunable {
+	be := p.BreakEvenThreshold()
+	t := &Tunable{T: start, Min: be / 8, Max: be * 64}
+	if t.T <= 0 {
+		t.T = be
+	}
+	if t.T < t.Min {
+		t.Min = t.T
+	}
+	if t.T > t.Max {
+		t.Max = t.T
+	}
+	return t
+}
+
+// Timeout implements disk.SpinPolicy.
+func (p *Tunable) Timeout() float64 { return p.T }
+
+// ObserveIdle implements disk.SpinPolicy (the control loop, not the
+// gap history, drives this policy).
+func (p *Tunable) ObserveIdle(float64) {}
+
+// Set retunes the threshold, clamped to [Min, Max], and returns the
+// value adopted.
+func (p *Tunable) Set(t float64) float64 {
+	p.T = p.clamp(t)
+	return p.T
+}
+
+func (p *Tunable) clamp(t float64) float64 {
+	if math.IsNaN(t) {
+		return p.T
+	}
+	if t < p.Min {
+		t = p.Min
+	}
+	if t > p.Max {
+		t = p.Max
+	}
+	return t
+}
+
+// String names the policy.
+func (p *Tunable) String() string { return fmt.Sprintf("tunable(%.3gs)", p.T) }
+
 // AlwaysOn never spins down — the paper's "no power-saving mechanism"
 // baseline.
 type AlwaysOn struct{}

@@ -1,0 +1,49 @@
+package reorg
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"diskpack/internal/coord"
+	"diskpack/internal/storage"
+)
+
+// Adaptive mode's per-epoch candidate sweeps dispatched through a
+// work-stealing coordinator pool (the ROADMAP "coordinator-fed reorg"
+// follow-on) must reproduce the in-process run exactly: the candidate
+// sweeps use only serializable axes now, and coord.PoolRunner promises
+// byte-identical sweep results.
+func TestAdaptiveThroughCoordinator(t *testing.T) {
+	tr := driftingTrace(t, 3)
+	epoch := tr.Duration / 3
+	cfg := Config{
+		Epoch: epoch, CapL: 0.7, IdleThreshold: storage.BreakEven,
+		MinRate: 1e-7, Adaptive: true,
+	}
+	inProcess, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	pooled := cfg
+	pooled.SweepRunner = coord.PoolRunner(ctx, 2, coord.Config{}, coord.WorkerConfig{Name: "reorg-pool"})
+	viaPool, err := Run(tr, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(inProcess)
+	b, _ := json.Marshal(viaPool)
+	if string(a) != string(b) {
+		t.Error("coordinator-dispatched adaptive run differs from in-process")
+	}
+	for i := range inProcess.Epochs {
+		if inProcess.Epochs[i].Choice != viaPool.Epochs[i].Choice {
+			t.Errorf("epoch %d choice differs: %q vs %q", i, inProcess.Epochs[i].Choice, viaPool.Epochs[i].Choice)
+		}
+	}
+}

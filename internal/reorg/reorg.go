@@ -63,6 +63,13 @@ type Config struct {
 	// Workers bounds the candidate sweep's parallelism in adaptive
 	// mode; 0 means GOMAXPROCS.
 	Workers int
+	// SweepRunner, when non-nil, executes adaptive mode's per-epoch
+	// candidate sweeps in place of the in-process farm.RunSweep — the
+	// seam that lets an elastic pool (coord.PoolRunner) absorb the
+	// epoch barrier. The candidate sweeps use only serializable axes,
+	// so any RunSweep-equivalent executor works; it must return the
+	// byte-identical RunSweep result or adaptive decisions drift.
+	SweepRunner func(sweep farm.Sweep, seed int64, workers int) (*farm.SweepResult, error)
 	// DeviationFactor is the rate ratio (>1) that marks a file as
 	// mis-estimated in incremental mode; 0 means 4.
 	DeviationFactor float64
@@ -333,7 +340,7 @@ func fullRepack(assign []int, used int, rates []float64, files []trace.FileInfo,
 	if nextUsed > farmSize {
 		return assign, used, nil
 	}
-	return relabelForOverlap(assign, next, files, farmSize), nextUsed, nil
+	return RelabelForOverlap(assign, next, files, farmSize), nextUsed, nil
 }
 
 // candidate is one next-allocation proposal of adaptive mode.
@@ -383,19 +390,25 @@ func chooseCandidate(ep *trace.Trace, groups []farm.DiskGroup, spin farm.SpinSpe
 	}
 	if len(toRun) > 0 {
 		labels := make([]string, len(toRun))
+		assigns := make([][]int, len(toRun))
 		for k, i := range toRun {
 			labels[k] = cands[i].name
+			assigns[k] = cands[i].assign
 		}
+		// An explicit-alloc axis rather than a custom one: the maps
+		// serialize, so the sweep can leave the process (Config.
+		// SweepRunner may point it at a coordinator pool).
 		sweep := farm.Sweep{
 			Name: "reorg-candidates",
 			Base: farm.Spec{Groups: groups, Workload: farm.TraceWorkload(ep), Spin: spin},
-			Axes: []farm.Axis{{Name: "candidate", Kind: farm.AxisCustom, Labels: labels,
-				Apply: func(s *farm.Spec, k int, _ []int) error {
-					s.Alloc = farm.Explicit(cands[toRun[k]].assign)
-					return nil
-				}}},
+			Axes: []farm.Axis{{Name: "candidate", Kind: farm.AxisExplicitAlloc,
+				Labels: labels, Assigns: assigns}},
 		}
-		res, err := farm.RunSweep(sweep, 0, cfg.Workers)
+		runSweep := cfg.SweepRunner
+		if runSweep == nil {
+			runSweep = farm.RunSweep
+		}
+		res, err := runSweep(sweep, 0, cfg.Workers)
 		if err != nil {
 			return candidate{}, err
 		}
@@ -509,11 +522,14 @@ func incrementalRepack(assign []int, est, measured []float64, files []trace.File
 	return next, used, newEst
 }
 
-// relabelForOverlap renames the disks of the new packing to maximize
+// RelabelForOverlap renames the disks of the new packing to maximize
 // the bytes that stay in place: a greedy maximum-overlap matching
 // between new and old disk contents. The packing itself (which files
-// share a disk) is unchanged — only its disk numbering.
-func relabelForOverlap(old, new []int, files []trace.FileInfo, farm int) []int {
+// share a disk) is unchanged — only its disk numbering. Exported
+// because the online rate-respec controller (internal/control) does
+// the same migration-minimizing relabel before swapping a live
+// allocation.
+func RelabelForOverlap(old, new []int, files []trace.FileInfo, farm int) []int {
 	type pair struct {
 		newDisk, oldDisk int
 		bytes            int64

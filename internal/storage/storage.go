@@ -11,10 +11,7 @@ import (
 	"fmt"
 	"math"
 
-	"diskpack/internal/cache"
 	"diskpack/internal/disk"
-	"diskpack/internal/sim"
-	"diskpack/internal/stats"
 	"diskpack/internal/trace"
 )
 
@@ -144,6 +141,14 @@ type Results struct {
 	// surfaced rather than silently dropped.
 	ReadsUnplaced int64
 
+	// Migration accounting (nonzero only when a streamed run's
+	// controller actuated a mid-run reallocation, see RunControl):
+	// MigrationEnergy is included in Energy but not in NoSavingEnergy
+	// (the baseline never migrates).
+	MigrationEnergy float64
+	MigratedFiles   int64
+	MigratedBytes   int64
+
 	// Farm-level activity.
 	SpinUps, SpinDowns int
 	AvgStandbyDisks    float64 // time-average number of disks in standby
@@ -153,189 +158,12 @@ type Results struct {
 
 // Run simulates the trace against a farm where file f lives on disk
 // assign[f]. It returns an error for malformed inputs; the simulation
-// itself is deterministic.
+// itself is deterministic. The mechanics live in the machine shared
+// with RunStream (stream.go); Run is the classic un-windowed path.
 func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
-	cfg, err := cfg.normalized()
+	m, err := newMachine(tr, assign, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	if len(assign) != len(tr.Files) {
-		return nil, fmt.Errorf("storage: assignment covers %d files, trace has %d", len(assign), len(tr.Files))
-	}
-	for f, d := range assign {
-		if (d < 0 && d != Unplaced) || d >= cfg.NumDisks {
-			return nil, fmt.Errorf("storage: file %d assigned to disk %d outside farm of %d", f, d, cfg.NumDisks)
-		}
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-
-	env := sim.NewEnv()
-	disks := make([]*disk.Disk, cfg.NumDisks)
-	for i := range disks {
-		p := cfg.paramsFor(i)
-		switch {
-		case cfg.PolicyFactory != nil:
-			disks[i] = disk.NewWithPolicy(env, i, p, cfg.PolicyFactory(i))
-		case cfg.IdleThreshold == BreakEven:
-			disks[i] = disk.New(env, i, p, p.BreakEvenThreshold())
-		default:
-			disks[i] = disk.New(env, i, p, cfg.IdleThreshold)
-		}
-	}
-	var lru *cache.LRU
-	if cfg.CacheBytes > 0 {
-		lru = cache.NewLRU(cfg.CacheBytes)
-	}
-
-	// place is the dynamic file→disk map: the write policy fills in
-	// Unplaced entries at write time; freeBytes tracks remaining raw
-	// capacity per disk.
-	place := append([]int(nil), assign...)
-	freeBytes := make([]int64, cfg.NumDisks)
-	for d := range freeBytes {
-		freeBytes[d] = cfg.paramsFor(d).CapacityBytes
-	}
-	for f, d := range place {
-		if d >= 0 {
-			freeBytes[d] -= tr.Files[f].Size
-		}
-	}
-	spinning := func(d *disk.Disk) bool {
-		switch d.State() {
-		case disk.Idle, disk.Seeking, disk.Transferring, disk.SpinningUp:
-			return true
-		}
-		return false
-	}
-	// chooseWriteDisk implements the Section 1 policy: prefer an
-	// already-spinning disk with space (first-fit, or best-fit with
-	// WriteBestFit), falling back to any disk with space.
-	chooseWriteDisk := func(size int64) int {
-		for _, spinOnly := range []bool{true, false} {
-			best := -1
-			for d := 0; d < cfg.NumDisks; d++ {
-				if freeBytes[d] < size || (spinOnly && !spinning(disks[d])) {
-					continue
-				}
-				if !cfg.WriteBestFit {
-					return d
-				}
-				if best == -1 || freeBytes[d] < freeBytes[best] {
-					best = d
-				}
-			}
-			if best >= 0 {
-				return best
-			}
-		}
-		return -1
-	}
-
-	var resp stats.Sample
-	var completed, writesPlaced, writesToSpinning, writesRejected, readsUnplaced int64
-	for _, r := range tr.Requests {
-		r := r
-		env.At(r.Time, func() {
-			size := tr.Files[r.FileID].Size
-			done := func(req *disk.Request, doneAt sim.Time) {
-				resp.Add(doneAt - req.Arrival)
-				completed++
-				if lru != nil {
-					lru.Put(req.FileID, req.Size)
-				}
-			}
-			if r.Write {
-				d := place[r.FileID]
-				if d < 0 {
-					d = chooseWriteDisk(size)
-					if d < 0 {
-						writesRejected++
-						return
-					}
-					if spinning(disks[d]) {
-						writesToSpinning++
-					}
-					place[r.FileID] = d
-					freeBytes[d] -= size
-					writesPlaced++
-				}
-				disks[d].Submit(&disk.Request{FileID: r.FileID, Size: size, Arrival: env.Now(), Done: done})
-				return
-			}
-			d := place[r.FileID]
-			if d < 0 {
-				readsUnplaced++
-				return
-			}
-			if lru != nil && lru.Get(r.FileID, size) {
-				// Cache hit: served without disk involvement; the
-				// paper counts these as (near-)zero response time.
-				resp.Add(0)
-				completed++
-				return
-			}
-			disks[d].Submit(&disk.Request{FileID: r.FileID, Size: size, Arrival: env.Now(), Done: done})
-		})
-	}
-
-	horizon := tr.Duration
-	if len(tr.Requests) > 0 {
-		horizon = math.Max(horizon, tr.Requests[len(tr.Requests)-1].Time)
-	}
-	env.RunUntil(horizon)
-
-	res := &Results{
-		Duration:         horizon,
-		Completed:        completed,
-		PerDisk:          make([]disk.Breakdown, cfg.NumDisks),
-		WritesPlaced:     writesPlaced,
-		WritesToSpinning: writesToSpinning,
-		WritesRejected:   writesRejected,
-		ReadsUnplaced:    readsUnplaced,
-	}
-	res.Unfinished = int64(len(tr.Requests)) - completed - writesRejected - readsUnplaced
-	var standbyTime float64
-	for i, d := range disks {
-		d.Finalize()
-		b := d.Breakdown()
-		res.PerDisk[i] = b
-		res.Energy += b.Energy
-		res.SpinUps += b.SpinUps
-		res.SpinDowns += b.SpinDowns
-		standbyTime += b.Durations[disk.Standby]
-		if q := d.PeakQueueLen(); q > res.PeakQueue {
-			res.PeakQueue = q
-		}
-		// No-saving baseline: this disk would have idled at idle
-		// power whenever it was not seeking/transferring; seek and
-		// transfer time are workload-determined and identical under
-		// either policy.
-		seek := b.Durations[disk.Seeking]
-		xfer := b.Durations[disk.Transferring]
-		p := cfg.paramsFor(i)
-		res.NoSavingEnergy += p.IdlePower*(horizon-seek-xfer) +
-			p.SeekPower*seek + p.ActivePower*xfer
-	}
-	if horizon > 0 {
-		res.AvgPower = res.Energy / horizon
-		res.AvgStandbyDisks = standbyTime / horizon
-	}
-	if res.NoSavingEnergy > 0 {
-		res.PowerSavingRatio = 1 - res.Energy/res.NoSavingEnergy
-	}
-	if resp.Count() > 0 {
-		res.RespMean = resp.Mean()
-		res.RespMedian = resp.Median()
-		res.RespP95 = resp.Quantile(0.95)
-		res.RespP99 = resp.Quantile(0.99)
-		res.RespMax = resp.Max()
-	}
-	if lru != nil {
-		s := lru.Stats()
-		res.CacheHits, res.CacheMisses = s.Hits, s.Misses
-		res.CacheHitRatio = lru.HitRatio()
-	}
-	return res, nil
+	return m.run()
 }

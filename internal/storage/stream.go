@@ -1,0 +1,708 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"diskpack/internal/cache"
+	"diskpack/internal/disk"
+	"diskpack/internal/sim"
+	"diskpack/internal/stats"
+	"diskpack/internal/trace"
+)
+
+// Windowed telemetry: the observe half of the online control loop
+// (internal/control). RunStream executes exactly the simulation Run
+// executes — the event order is untouched, so a run with a do-nothing
+// observer is byte-identical to Run — but advances the clock in
+// epoch-length windows and emits a Window snapshot at every boundary:
+// per-group arrival and completion counts, response-time quantiles,
+// energy, spin transitions, standby time, and an idle-gap histogram.
+// The observer may actuate between windows through RunControl
+// (mid-run reallocation; spin thresholds actuate through the policy
+// objects the caller owns), which is the decide→actuate half.
+
+// IdleGapBuckets returns the upper bounds, in seconds, of the idle-gap
+// histogram buckets (the last bucket is unbounded). Log-spaced around
+// the Table 2 drive's 53.3 s break-even time, so a controller can read
+// "how many gaps would a threshold of X have converted to standby"
+// straight off the histogram.
+func IdleGapBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+}
+
+// idleGapBucket returns the histogram slot for a gap length.
+func idleGapBucket(gap float64) int {
+	bounds := idleGapBounds
+	for i, b := range bounds {
+		if gap <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+var idleGapBounds = IdleGapBuckets()
+
+// RespBuckets returns the upper bounds, in seconds, of the
+// response-time histogram buckets (the last bucket is unbounded).
+// The grid is anchored on the Table 2 drive's 15 s spin-up time, so a
+// tail-budget controller can count "responses that paid a spin-up"
+// exactly: a request stalled behind a wake-up takes > 15 s, and 15 is
+// a bucket bound.
+func RespBuckets() []float64 {
+	return []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 15, 20, 30, 60, 120, 300, 900}
+}
+
+var respBounds = RespBuckets()
+
+// respBucket returns the histogram slot for a response time.
+func respBucket(rt float64) int {
+	for i, b := range respBounds {
+		if rt <= b {
+			return i
+		}
+	}
+	return len(respBounds)
+}
+
+// GroupWindow is one disk group's share of a telemetry window.
+type GroupWindow struct {
+	// Group is the group index (-1 for the farm-wide total).
+	Group int
+	// Disks is the number of drives in the group.
+	Disks int
+	// Arrivals counts requests dispatched toward the group's disks
+	// during the window (cache hits included — the request targeted the
+	// group even if the cache absorbed it).
+	Arrivals int64
+	// Completed counts requests finished during the window (cache hits
+	// included, at zero response time).
+	Completed int64
+	// Response-time distribution over the window's completions, seconds.
+	RespMean, RespP50, RespP95, RespP99, RespMax float64
+	// Energy is the group's consumption during the window, joules.
+	Energy float64
+	// Spin transitions during the window.
+	SpinUps, SpinDowns int
+	// StandbyTime is disk-seconds spent in standby during the window.
+	StandbyTime float64
+	// IdleGaps is the histogram of idle-gap lengths closed during the
+	// window (a gap is closed by the arrival ending it); bucket bounds
+	// are IdleGapBuckets, plus one overflow bucket.
+	IdleGaps []int64
+	// RespHist is the histogram of the window's completion response
+	// times; bucket bounds are RespBuckets, plus one overflow bucket.
+	// Quantiles interpolate; the histogram counts exactly — a
+	// tail-budget controller reads "completions over budget" off it.
+	RespHist []int64
+	// Threshold is the group's spin-down threshold at the window
+	// boundary, filled by the farm layer for tunable groups (zero
+	// otherwise — storage does not know the policies' internals).
+	Threshold float64
+}
+
+// Window is one epoch's telemetry snapshot.
+type Window struct {
+	// Index numbers windows from zero.
+	Index int
+	// Start and End bound the window in simulated seconds.
+	Start, End float64
+	// Final marks the window that reaches the horizon.
+	Final bool
+	// Groups holds one entry per disk group.
+	Groups []GroupWindow
+	// Total is the farm-wide aggregate (Group = -1).
+	Total GroupWindow
+	// Cache activity during the window (zero without a cache).
+	CacheHits, CacheMisses int64
+	// Migration accounting for reallocations actuated since the
+	// previous window.
+	MigrationEnergy float64
+	MigratedFiles   int64
+	MigratedBytes   int64
+}
+
+// StreamConfig parameterizes a windowed run.
+type StreamConfig struct {
+	// Epoch is the window length in seconds (> 0).
+	Epoch float64
+	// GroupOf maps disk → group index; nil puts every disk in group 0.
+	// Group indices must be dense from zero.
+	GroupOf []int
+	// OnWindow is called at every epoch boundary with the window just
+	// closed and the actuation handle. Returning an error aborts the
+	// run. The snapshot is immutable history; actuations apply to the
+	// simulation from the boundary onward.
+	OnWindow func(w *Window, ctl *RunControl) error
+}
+
+// validate resolves defaults against a farm size.
+func (sc *StreamConfig) validate(numDisks int) error {
+	if !(sc.Epoch > 0) || math.IsNaN(sc.Epoch) {
+		return fmt.Errorf("storage: stream epoch %v must be positive", sc.Epoch)
+	}
+	if sc.GroupOf != nil && len(sc.GroupOf) != numDisks {
+		return fmt.Errorf("storage: GroupOf covers %d disks, farm has %d", len(sc.GroupOf), numDisks)
+	}
+	for d, g := range sc.GroupOf {
+		if g < 0 {
+			return fmt.Errorf("storage: disk %d in negative group %d", d, g)
+		}
+	}
+	return nil
+}
+
+// RunControl is the actuation surface handed to the window observer.
+// Its methods apply at the window boundary, before any further
+// simulated time passes.
+type RunControl struct {
+	m *machine
+}
+
+// Assign returns a copy of the live file→disk map (Unplaced for files
+// not yet written).
+func (c *RunControl) Assign() []int {
+	return append([]int(nil), c.m.place...)
+}
+
+// Realloc replaces the live file→disk map: files whose disk changes
+// are "migrated" at a modeled cost — a read at the source plus a write
+// at the target, each at that drive's transfer rate and active power —
+// charged to the run's energy (and reported per window), not to
+// request response times; like the reorg engine, migration is assumed
+// to ride quiet periods. Placed files must stay placed and unplaced
+// files unplaced, every target must be inside the farm, and no disk
+// may be overfilled; a violating assignment is rejected whole. Requests
+// already queued on the old disks finish there; arrivals from the
+// boundary on follow the new map.
+func (c *RunControl) Realloc(assign []int) (moved int, movedBytes int64, err error) {
+	m := c.m
+	if len(assign) != len(m.place) {
+		return 0, 0, fmt.Errorf("storage: realloc covers %d files, trace has %d", len(assign), len(m.place))
+	}
+	free := make([]int64, m.cfg.NumDisks)
+	for d := range free {
+		free[d] = m.cfg.paramsFor(d).CapacityBytes
+	}
+	var energy float64
+	for f, d := range assign {
+		old := m.place[f]
+		switch {
+		case old < 0 && d != Unplaced:
+			return 0, 0, fmt.Errorf("storage: realloc places unwritten file %d (write policy owns it)", f)
+		case old >= 0 && (d < 0 || d >= m.cfg.NumDisks):
+			return 0, 0, fmt.Errorf("storage: realloc sends file %d to disk %d outside farm of %d", f, d, m.cfg.NumDisks)
+		}
+		if d >= 0 {
+			free[d] -= m.tr.Files[f].Size
+		}
+		if old >= 0 && d != old {
+			size := m.tr.Files[f].Size
+			moved++
+			movedBytes += size
+			src, dst := m.cfg.paramsFor(old), m.cfg.paramsFor(d)
+			energy += float64(size)/src.TransferRate*src.ActivePower +
+				float64(size)/dst.TransferRate*dst.ActivePower
+		}
+	}
+	for d, b := range free {
+		if b < 0 {
+			return 0, 0, fmt.Errorf("storage: realloc overfills disk %d by %d bytes", d, -b)
+		}
+	}
+	copy(m.place, assign)
+	copy(m.freeBytes, free)
+	m.migrationEnergy += energy
+	m.migratedFiles += int64(moved)
+	m.migratedBytes += movedBytes
+	return moved, movedBytes, nil
+}
+
+// fixedTimeout is the constant-threshold policy the classic Run path
+// uses (identical to the one disk.New installs).
+type fixedTimeout float64
+
+func (f fixedTimeout) Timeout() float64  { return float64(f) }
+func (fixedTimeout) ObserveIdle(float64) {}
+
+// gapRecorder wraps a disk's spin policy to histogram closed idle gaps
+// into the current window. Timeout passes straight through, so wrapped
+// and unwrapped runs behave identically.
+type gapRecorder struct {
+	inner disk.SpinPolicy
+	acc   *winAccum
+	group int
+}
+
+func (g *gapRecorder) Timeout() float64 { return g.inner.Timeout() }
+
+func (g *gapRecorder) ObserveIdle(gap float64) {
+	b := idleGapBucket(gap)
+	g.acc.gaps[g.group][b]++
+	g.acc.gapsTotal[b]++
+	g.inner.ObserveIdle(gap)
+}
+
+// winAccum accumulates one window's per-group activity and remembers
+// the cumulative counters at the previous boundary so snapshot can
+// report deltas.
+type winAccum struct {
+	groupOf    []int
+	disksIn    []int // disks per group
+	resp       []stats.Sample
+	respTotal  stats.Sample
+	arrivals   []int64
+	arrTotal   int64
+	gaps       [][]int64
+	gapsTotal  []int64
+	rhist      [][]int64
+	rhistTotal []int64
+
+	prevEnergy    []float64
+	prevUps       []int
+	prevDowns     []int
+	prevStandby   []float64
+	prevHits      int64
+	prevMisses    int64
+	prevMigEnergy float64
+	prevMigFiles  int64
+	prevMigBytes  int64
+	index         int
+}
+
+func newWinAccum(groupOf []int, numDisks int) *winAccum {
+	ng := 1
+	for _, g := range groupOf {
+		if g+1 > ng {
+			ng = g + 1
+		}
+	}
+	a := &winAccum{
+		groupOf:     groupOf,
+		disksIn:     make([]int, ng),
+		resp:        make([]stats.Sample, ng),
+		arrivals:    make([]int64, ng),
+		gaps:        make([][]int64, ng),
+		gapsTotal:   make([]int64, len(idleGapBounds)+1),
+		rhist:       make([][]int64, ng),
+		rhistTotal:  make([]int64, len(respBounds)+1),
+		prevEnergy:  make([]float64, numDisks),
+		prevUps:     make([]int, numDisks),
+		prevDowns:   make([]int, numDisks),
+		prevStandby: make([]float64, numDisks),
+	}
+	for g := range a.gaps {
+		a.gaps[g] = make([]int64, len(idleGapBounds)+1)
+		a.rhist[g] = make([]int64, len(respBounds)+1)
+	}
+	for _, g := range groupOf {
+		a.disksIn[g]++
+	}
+	if len(groupOf) == 0 {
+		a.disksIn[0] = numDisks
+	}
+	return a
+}
+
+func (a *winAccum) group(d int) int {
+	if len(a.groupOf) == 0 {
+		return 0
+	}
+	return a.groupOf[d]
+}
+
+// snapshot closes the window [start, end], returning a freshly
+// allocated Window and advancing the previous-boundary counters. The
+// returned snapshot shares nothing with the accumulator, so observers
+// may retain it.
+func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window {
+	w := &Window{
+		Index:  a.index,
+		Start:  start,
+		End:    end,
+		Final:  final,
+		Groups: make([]GroupWindow, len(a.resp)),
+	}
+	a.index++
+	fill := func(gw *GroupWindow, s *stats.Sample, arrivals int64, gaps, rhist []int64) {
+		gw.Arrivals = arrivals
+		gw.Completed = s.Count()
+		if s.Count() > 0 {
+			gw.RespMean = s.Mean()
+			gw.RespP50 = s.Quantile(0.5)
+			gw.RespP95 = s.Quantile(0.95)
+			gw.RespP99 = s.Quantile(0.99)
+			gw.RespMax = s.Max()
+		}
+		gw.IdleGaps = append([]int64(nil), gaps...)
+		gw.RespHist = append([]int64(nil), rhist...)
+	}
+	for g := range w.Groups {
+		w.Groups[g].Group = g
+		w.Groups[g].Disks = a.disksIn[g]
+		fill(&w.Groups[g], &a.resp[g], a.arrivals[g], a.gaps[g], a.rhist[g])
+	}
+	w.Total.Group = -1
+	w.Total.Disks = m.cfg.NumDisks
+	fill(&w.Total, &a.respTotal, a.arrTotal, a.gapsTotal, a.rhistTotal)
+	for d, dk := range m.disks {
+		g := a.group(d)
+		e := dk.EnergyAt(end)
+		ups, downs := dk.SpinUps(), dk.SpinDowns()
+		standby := dk.StateDurationAt(disk.Standby, end)
+		w.Groups[g].Energy += e - a.prevEnergy[d]
+		w.Groups[g].SpinUps += ups - a.prevUps[d]
+		w.Groups[g].SpinDowns += downs - a.prevDowns[d]
+		w.Groups[g].StandbyTime += standby - a.prevStandby[d]
+		w.Total.Energy += e - a.prevEnergy[d]
+		w.Total.SpinUps += ups - a.prevUps[d]
+		w.Total.SpinDowns += downs - a.prevDowns[d]
+		w.Total.StandbyTime += standby - a.prevStandby[d]
+		a.prevEnergy[d] = e
+		a.prevUps[d] = ups
+		a.prevDowns[d] = downs
+		a.prevStandby[d] = standby
+	}
+	if m.lru != nil {
+		s := m.lru.Stats()
+		w.CacheHits, w.CacheMisses = s.Hits-a.prevHits, s.Misses-a.prevMisses
+		a.prevHits, a.prevMisses = s.Hits, s.Misses
+	}
+	w.MigrationEnergy = m.migrationEnergy - a.prevMigEnergy
+	w.MigratedFiles = m.migratedFiles - a.prevMigFiles
+	w.MigratedBytes = m.migratedBytes - a.prevMigBytes
+	a.prevMigEnergy, a.prevMigFiles, a.prevMigBytes = m.migrationEnergy, m.migratedFiles, m.migratedBytes
+	// Reset the per-window accumulators for the next window.
+	for g := range a.resp {
+		a.resp[g] = stats.Sample{}
+		a.arrivals[g] = 0
+		for b := range a.gaps[g] {
+			a.gaps[g][b] = 0
+		}
+		for b := range a.rhist[g] {
+			a.rhist[g][b] = 0
+		}
+	}
+	a.respTotal = stats.Sample{}
+	a.arrTotal = 0
+	for b := range a.gapsTotal {
+		a.gapsTotal[b] = 0
+	}
+	for b := range a.rhistTotal {
+		a.rhistTotal[b] = 0
+	}
+	return w
+}
+
+// machine is one simulation run's state: configuration, entities, and
+// counters. Both Run and RunStream drive it; the stream fields stay nil
+// on the classic path.
+type machine struct {
+	cfg Config
+	tr  *trace.Trace
+	env *sim.Env
+
+	disks     []*disk.Disk
+	lru       *cache.LRU
+	place     []int
+	freeBytes []int64
+
+	resp                                                      stats.Sample
+	completed, writesPlaced, writesToSpinning, writesRejected int64
+	readsUnplaced                                             int64
+	migrationEnergy                                           float64
+	migratedFiles, migratedBytes                              int64
+
+	sc  *StreamConfig
+	acc *winAccum
+}
+
+// newMachine validates inputs and assembles the run (disks, cache,
+// placement tables, scheduled requests) without advancing the clock.
+func newMachine(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig) (*machine, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(assign) != len(tr.Files) {
+		return nil, fmt.Errorf("storage: assignment covers %d files, trace has %d", len(assign), len(tr.Files))
+	}
+	for f, d := range assign {
+		if (d < 0 && d != Unplaced) || d >= cfg.NumDisks {
+			return nil, fmt.Errorf("storage: file %d assigned to disk %d outside farm of %d", f, d, cfg.NumDisks)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if sc != nil {
+		if err := sc.validate(cfg.NumDisks); err != nil {
+			return nil, err
+		}
+	}
+
+	m := &machine{cfg: cfg, tr: tr, env: sim.NewEnv(), sc: sc}
+	if sc != nil {
+		m.acc = newWinAccum(sc.GroupOf, cfg.NumDisks)
+	}
+	m.disks = make([]*disk.Disk, cfg.NumDisks)
+	for i := range m.disks {
+		p := cfg.paramsFor(i)
+		var pol disk.SpinPolicy
+		switch {
+		case cfg.PolicyFactory != nil:
+			pol = cfg.PolicyFactory(i)
+		case cfg.IdleThreshold == BreakEven:
+			pol = fixedTimeout(p.BreakEvenThreshold())
+		default:
+			pol = fixedTimeout(cfg.IdleThreshold)
+		}
+		if m.acc != nil {
+			pol = &gapRecorder{inner: pol, acc: m.acc, group: m.acc.group(i)}
+		}
+		m.disks[i] = disk.NewWithPolicy(m.env, i, p, pol)
+	}
+	if cfg.CacheBytes > 0 {
+		m.lru = cache.NewLRU(cfg.CacheBytes)
+	}
+
+	// place is the dynamic file→disk map: the write policy fills in
+	// Unplaced entries at write time; freeBytes tracks remaining raw
+	// capacity per disk.
+	m.place = append([]int(nil), assign...)
+	m.freeBytes = make([]int64, cfg.NumDisks)
+	for d := range m.freeBytes {
+		m.freeBytes[d] = cfg.paramsFor(d).CapacityBytes
+	}
+	for f, d := range m.place {
+		if d >= 0 {
+			m.freeBytes[d] -= tr.Files[f].Size
+		}
+	}
+	for _, r := range tr.Requests {
+		r := r
+		m.env.At(r.Time, func() { m.onRequest(r) })
+	}
+	return m, nil
+}
+
+// spinning reports whether the disk can absorb a write without a
+// spin-up.
+func (m *machine) spinning(d *disk.Disk) bool {
+	switch d.State() {
+	case disk.Idle, disk.Seeking, disk.Transferring, disk.SpinningUp:
+		return true
+	}
+	return false
+}
+
+// chooseWriteDisk implements the Section 1 policy: prefer an
+// already-spinning disk with space (first-fit, or best-fit with
+// WriteBestFit), falling back to any disk with space.
+func (m *machine) chooseWriteDisk(size int64) int {
+	for _, spinOnly := range []bool{true, false} {
+		best := -1
+		for d := 0; d < m.cfg.NumDisks; d++ {
+			if m.freeBytes[d] < size || (spinOnly && !m.spinning(m.disks[d])) {
+				continue
+			}
+			if !m.cfg.WriteBestFit {
+				return d
+			}
+			if best == -1 || m.freeBytes[d] < m.freeBytes[best] {
+				best = d
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+// noteArrival counts a request dispatched toward disk d in the current
+// window.
+func (m *machine) noteArrival(d int) {
+	if m.acc == nil {
+		return
+	}
+	m.acc.arrivals[m.acc.group(d)]++
+	m.acc.arrTotal++
+}
+
+// noteComplete records a completion served by disk d (or its cache
+// front) in the current window.
+func (m *machine) noteComplete(d int, rt float64) {
+	if m.acc == nil {
+		return
+	}
+	g := m.acc.group(d)
+	m.acc.resp[g].Add(rt)
+	m.acc.respTotal.Add(rt)
+	b := respBucket(rt)
+	m.acc.rhist[g][b]++
+	m.acc.rhistTotal[b]++
+}
+
+// onRequest dispatches one trace request at its arrival instant.
+func (m *machine) onRequest(r trace.Request) {
+	size := m.tr.Files[r.FileID].Size
+	if r.Write {
+		d := m.place[r.FileID]
+		if d < 0 {
+			d = m.chooseWriteDisk(size)
+			if d < 0 {
+				m.writesRejected++
+				return
+			}
+			if m.spinning(m.disks[d]) {
+				m.writesToSpinning++
+			}
+			m.place[r.FileID] = d
+			m.freeBytes[d] -= size
+			m.writesPlaced++
+		}
+		m.noteArrival(d)
+		m.submit(d, r.FileID, size)
+		return
+	}
+	d := m.place[r.FileID]
+	if d < 0 {
+		m.readsUnplaced++
+		return
+	}
+	m.noteArrival(d)
+	if m.lru != nil && m.lru.Get(r.FileID, size) {
+		// Cache hit: served without disk involvement; the paper counts
+		// these as (near-)zero response time.
+		m.resp.Add(0)
+		m.completed++
+		m.noteComplete(d, 0)
+		return
+	}
+	m.submit(d, r.FileID, size)
+}
+
+// submit enqueues a whole-file read on disk d.
+func (m *machine) submit(d int, fileID int, size int64) {
+	m.disks[d].Submit(&disk.Request{
+		FileID:  fileID,
+		Size:    size,
+		Arrival: m.env.Now(),
+		Done: func(req *disk.Request, doneAt sim.Time) {
+			rt := doneAt - req.Arrival
+			m.resp.Add(rt)
+			m.completed++
+			if m.lru != nil {
+				m.lru.Put(req.FileID, req.Size)
+			}
+			m.noteComplete(d, rt)
+		},
+	})
+}
+
+// horizon returns the accounting horizon: the trace duration, extended
+// to the last arrival if the trace under-declares it.
+func (m *machine) horizon() float64 {
+	h := m.tr.Duration
+	if n := len(m.tr.Requests); n > 0 {
+		h = math.Max(h, m.tr.Requests[n-1].Time)
+	}
+	return h
+}
+
+// run advances the simulation to the horizon — in one stretch on the
+// classic path, window by window when streaming — and assembles the
+// results.
+func (m *machine) run() (*Results, error) {
+	horizon := m.horizon()
+	if m.sc == nil {
+		m.env.RunUntil(horizon)
+	} else {
+		err := m.env.RunWindows(m.sc.Epoch, horizon, func(start, end sim.Time, final bool) error {
+			w := m.acc.snapshot(m, start, end, final)
+			if m.sc.OnWindow == nil {
+				return nil
+			}
+			return m.sc.OnWindow(w, &RunControl{m})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Results{
+		Duration:         horizon,
+		Completed:        m.completed,
+		PerDisk:          make([]disk.Breakdown, m.cfg.NumDisks),
+		WritesPlaced:     m.writesPlaced,
+		WritesToSpinning: m.writesToSpinning,
+		WritesRejected:   m.writesRejected,
+		ReadsUnplaced:    m.readsUnplaced,
+		MigrationEnergy:  m.migrationEnergy,
+		MigratedFiles:    m.migratedFiles,
+		MigratedBytes:    m.migratedBytes,
+	}
+	res.Unfinished = int64(len(m.tr.Requests)) - m.completed - m.writesRejected - m.readsUnplaced
+	var standbyTime float64
+	for i, d := range m.disks {
+		d.Finalize()
+		b := d.Breakdown()
+		res.PerDisk[i] = b
+		res.Energy += b.Energy
+		res.SpinUps += b.SpinUps
+		res.SpinDowns += b.SpinDowns
+		standbyTime += b.Durations[disk.Standby]
+		if q := d.PeakQueueLen(); q > res.PeakQueue {
+			res.PeakQueue = q
+		}
+		// No-saving baseline: this disk would have idled at idle
+		// power whenever it was not seeking/transferring; seek and
+		// transfer time are workload-determined and identical under
+		// either policy.
+		seek := b.Durations[disk.Seeking]
+		xfer := b.Durations[disk.Transferring]
+		p := m.cfg.paramsFor(i)
+		res.NoSavingEnergy += p.IdlePower*(horizon-seek-xfer) +
+			p.SeekPower*seek + p.ActivePower*xfer
+	}
+	// Migration rides on top of the disks' own accounting: the policy
+	// caused it, so it is charged to Energy but not to the no-saving
+	// baseline (which never migrates).
+	res.Energy += m.migrationEnergy
+	if horizon > 0 {
+		res.AvgPower = res.Energy / horizon
+		res.AvgStandbyDisks = standbyTime / horizon
+	}
+	if res.NoSavingEnergy > 0 {
+		res.PowerSavingRatio = 1 - res.Energy/res.NoSavingEnergy
+	}
+	if m.resp.Count() > 0 {
+		res.RespMean = m.resp.Mean()
+		res.RespMedian = m.resp.Median()
+		res.RespP95 = m.resp.Quantile(0.95)
+		res.RespP99 = m.resp.Quantile(0.99)
+		res.RespMax = m.resp.Max()
+	}
+	if m.lru != nil {
+		s := m.lru.Stats()
+		res.CacheHits, res.CacheMisses = s.Hits, s.Misses
+		res.CacheHitRatio = m.lru.HitRatio()
+	}
+	return res, nil
+}
+
+// RunStream simulates the trace like Run while emitting a telemetry
+// Window every sc.Epoch simulated seconds (the last window ends at the
+// horizon and is marked Final). With a do-nothing observer the results
+// are byte-identical to Run — the window machinery only reads state.
+// Observers actuate through the RunControl handle and through whatever
+// policy objects the caller installed via Config.PolicyFactory.
+func RunStream(tr *trace.Trace, assign []int, cfg Config, sc StreamConfig) (*Results, error) {
+	m, err := newMachine(tr, assign, cfg, &sc)
+	if err != nil {
+		return nil, err
+	}
+	return m.run()
+}

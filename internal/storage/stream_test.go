@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+// streamTrace builds a small deterministic trace: files striped over
+// sizes, arrivals spaced so some gaps cross the break-even threshold.
+func streamTrace(files, reqs int, spacing float64) (*trace.Trace, []int) {
+	tr := &trace.Trace{Duration: float64(reqs) * spacing}
+	for i := 0; i < files; i++ {
+		tr.Files = append(tr.Files, trace.FileInfo{ID: i, Size: int64(10+i) * disk.MB, Rate: 0.01})
+	}
+	assign := make([]int, files)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	for r := 0; r < reqs; r++ {
+		tr.Requests = append(tr.Requests, trace.Request{Time: float64(r) * spacing, FileID: r % files})
+	}
+	return tr, assign
+}
+
+// A do-nothing observer must not change anything about the run.
+func TestStreamMatchesRun(t *testing.T) {
+	tr, assign := streamTrace(12, 400, 7)
+	cfg := Config{NumDisks: 3, IdleThreshold: BreakEven}
+	ref, err := Run(tr, assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStream(tr, assign, cfg, StreamConfig{Epoch: 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(ref)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Error("RunStream with no observer diverges from Run")
+	}
+}
+
+// Window cadence: ceil(horizon/epoch) windows, contiguous spans, Final
+// on the last.
+func TestStreamWindowCadence(t *testing.T) {
+	tr, assign := streamTrace(6, 100, 5)
+	var windows []Window
+	_, err := RunStream(tr, assign, Config{NumDisks: 3, IdleThreshold: 30}, StreamConfig{
+		Epoch: 90,
+		OnWindow: func(w *Window, ctl *RunControl) error {
+			windows = append(windows, *w)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := tr.Duration
+	want := int(math.Ceil(horizon / 90))
+	if len(windows) != want {
+		t.Fatalf("%d windows, want %d", len(windows), want)
+	}
+	for i, w := range windows {
+		if i > 0 && w.Start != windows[i-1].End {
+			t.Errorf("window %d starts at %v, previous ended %v", i, w.Start, windows[i-1].End)
+		}
+		if (i == len(windows)-1) != w.Final {
+			t.Errorf("window %d Final=%v", i, w.Final)
+		}
+	}
+	if windows[len(windows)-1].End != horizon {
+		t.Errorf("last window ends %v, horizon %v", windows[len(windows)-1].End, horizon)
+	}
+}
+
+// Realloc redirects future requests, charges migration energy, and is
+// reported in the window that follows.
+func TestStreamRealloc(t *testing.T) {
+	tr, assign := streamTrace(9, 300, 6)
+	moved := false
+	var afterRealloc *Window
+	res, err := RunStream(tr, assign, Config{NumDisks: 4, IdleThreshold: BreakEven}, StreamConfig{
+		Epoch: 450,
+		OnWindow: func(w *Window, ctl *RunControl) error {
+			if moved && afterRealloc == nil {
+				afterRealloc = w
+			}
+			if moved || w.Final {
+				return nil
+			}
+			next := ctl.Assign()
+			for f := range next {
+				next[f] = 3 // consolidate everything onto the spare disk
+			}
+			n, bytes, err := ctl.Realloc(next)
+			if err != nil {
+				return err
+			}
+			if n != len(next) || bytes <= 0 {
+				t.Errorf("realloc moved %d files / %d bytes", n, bytes)
+			}
+			moved = true
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("realloc never ran")
+	}
+	if res.MigratedFiles != 9 || res.MigrationEnergy <= 0 {
+		t.Errorf("migration accounting: %d files, %v J", res.MigratedFiles, res.MigrationEnergy)
+	}
+	if afterRealloc == nil || afterRealloc.MigratedFiles != 9 {
+		t.Errorf("window after realloc reports %+v", afterRealloc)
+	}
+	// All migration energy rides on Energy, none on the baseline.
+	ref, err := Run(tr, assign, Config{NumDisks: 4, IdleThreshold: BreakEven})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoSavingEnergy != ref.NoSavingEnergy {
+		// Different service placement changes seek/transfer split only
+		// if disks differ in params — here they are identical, so the
+		// baseline should match closely.
+		if math.Abs(res.NoSavingEnergy-ref.NoSavingEnergy) > 1e-6*ref.NoSavingEnergy {
+			t.Errorf("baseline moved: %v vs %v", res.NoSavingEnergy, ref.NoSavingEnergy)
+		}
+	}
+}
+
+// Invalid reallocations are rejected whole, leaving the run intact.
+func TestStreamReallocRejects(t *testing.T) {
+	tr, assign := streamTrace(6, 60, 10)
+	checked := false
+	_, err := RunStream(tr, assign, Config{NumDisks: 3, IdleThreshold: 30}, StreamConfig{
+		Epoch: 200,
+		OnWindow: func(w *Window, ctl *RunControl) error {
+			if checked {
+				return nil
+			}
+			checked = true
+			before := ctl.Assign()
+			// Out-of-farm target.
+			bad := append([]int(nil), before...)
+			bad[0] = 7
+			if _, _, err := ctl.Realloc(bad); err == nil {
+				t.Error("out-of-farm realloc accepted")
+			}
+			// Wrong length.
+			if _, _, err := ctl.Realloc(bad[:3]); err == nil {
+				t.Error("short realloc accepted")
+			}
+			// Overfilled disk: everything on disk 0 exceeds nothing here
+			// (files are small), so fake it with a capacity-sized file
+			// set is overkill — instead unplace a placed file.
+			bad2 := append([]int(nil), before...)
+			bad2[1] = Unplaced
+			if _, _, err := ctl.Realloc(bad2); err == nil {
+				t.Error("unplacing realloc accepted")
+			}
+			if !reflect.DeepEqual(ctl.Assign(), before) {
+				t.Error("rejected realloc mutated the map")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("observer never ran")
+	}
+}
+
+// The observer's error aborts the run.
+func TestStreamObserverError(t *testing.T) {
+	tr, assign := streamTrace(4, 40, 5)
+	wantErr := "boom"
+	_, err := RunStream(tr, assign, Config{NumDisks: 3, IdleThreshold: 30}, StreamConfig{
+		Epoch: 50,
+		OnWindow: func(w *Window, ctl *RunControl) error {
+			return errTest(wantErr)
+		},
+	})
+	if err == nil || err.Error() != wantErr {
+		t.Errorf("err = %v", err)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// Bucket helpers cover their bounds.
+func TestHistogramBuckets(t *testing.T) {
+	if got := idleGapBucket(0.5); got != 0 {
+		t.Errorf("gap 0.5 in bucket %d", got)
+	}
+	if got := idleGapBucket(1e9); got != len(IdleGapBuckets()) {
+		t.Errorf("huge gap in bucket %d", got)
+	}
+	if got := respBucket(15); got != 7 {
+		t.Errorf("rt 15 in bucket %d (bounds %v)", got, RespBuckets())
+	}
+	if got := respBucket(15.01); got != 8 {
+		t.Errorf("rt 15.01 in bucket %d", got)
+	}
+}
