@@ -15,8 +15,11 @@ import (
 
 	"diskpack/internal/control"
 	"diskpack/internal/core"
+	"diskpack/internal/disk"
 	"diskpack/internal/exp"
 	"diskpack/internal/farm"
+	"diskpack/internal/storage"
+	"diskpack/internal/trace"
 	"diskpack/internal/workload"
 )
 
@@ -282,6 +285,7 @@ func BenchmarkSweep(b *testing.B) {
 	}
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var saving float64
 			for i := 0; i < b.N; i++ {
 				res, err := farm.RunSweep(sweep, 1, workers)
@@ -332,6 +336,53 @@ func BenchmarkControlEpoch(b *testing.B) {
 		}
 		b.ReportMetric(float64(windows), "windows")
 	})
+}
+
+// BenchmarkMillionDiskEpoch is the ROADMAP scale target in benchmark
+// form: one epoch of a ~10⁶-disk farm at the break-even threshold. The
+// farm is mostly cold — every disk arms an idle timer at t=0 and spins
+// down at 53.3 s — while 10⁵ requests land on a 128k-file active
+// subset, forcing spin-ups and queueing behind wake-ups. The dominant
+// cost is the event kernel itself (≈2.2M timer events beyond the
+// request path), so this benchmark tracks exactly what the calendar
+// queue and free list are for. Reports wall-clock request throughput.
+func BenchmarkMillionDiskEpoch(b *testing.B) {
+	const (
+		nDisks  = 1 << 20 // 1,048,576 drives
+		nFiles  = 1 << 17 // 131,072 files on distinct disks
+		nReqs   = 100_000
+		horizon = 120.0 // seconds: past break-even plus spin-up tail
+	)
+	tr := &trace.Trace{Duration: horizon}
+	tr.Files = make([]trace.FileInfo, nFiles)
+	assign := make([]int, nFiles)
+	for i := range tr.Files {
+		tr.Files[i] = trace.FileInfo{ID: i, Size: 64 * disk.MB, Rate: 0.01}
+		assign[i] = (i * (nDisks / nFiles)) % nDisks
+	}
+	rng := rand.New(rand.NewSource(9))
+	tr.Requests = make([]trace.Request, nReqs)
+	for r := range tr.Requests {
+		tr.Requests[r] = trace.Request{
+			Time:   horizon * float64(r) / nReqs,
+			FileID: rng.Intn(nFiles),
+		}
+	}
+	cfg := storage.Config{NumDisks: nDisks, IdleThreshold: storage.BreakEven}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var completed int64
+	for i := 0; i < b.N; i++ {
+		res, err := storage.Run(tr, assign, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed = res.Completed
+	}
+	if completed == 0 {
+		b.Fatal("no requests completed")
+	}
+	b.ReportMetric(float64(nReqs*b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // packingInstance builds the skewed instance used by the complexity

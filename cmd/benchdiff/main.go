@@ -1,0 +1,246 @@
+// Command benchdiff turns `go test -bench` output into a perf gate: it
+// parses benchmark results (taking the min over -count repeats, the
+// standard noise filter), compares them against a committed JSON
+// baseline, and exits non-zero when any benchmark regresses by more
+// than the ns/op threshold or grows its allocs/op beyond a hair of
+// amortization jitter (0.5% + ½ alloc; zero stays zero). With -update
+// it rewrites the baseline instead — the single intentional way a new
+// performance level is recorded (see EXPERIMENTS.md, "Performance").
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchtime 500ms -count 3 ./... > bench.out
+//	go run ./cmd/benchdiff bench.out            # gate against BENCH_main.json
+//	go run ./cmd/benchdiff -update bench.out    # record a new baseline
+//
+// Input files default to stdin when absent. The comparison is also
+// emitted as a markdown table; -summary appends it to a file (CI step
+// summaries).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measured operating point.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the committed BENCH_main.json shape.
+type baseline struct {
+	// Note documents how the numbers were produced.
+	Note string `json:"note"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// its recorded operating point.
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFarmRun-8   114   21038885 ns/op   0.7654 saving   8867128 B/op   18820 allocs/op
+//
+// Custom -ReportMetric columns are ignored; B/op and allocs/op are
+// optional (present only under -benchmem or b.ReportAllocs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+var metricCol = regexp.MustCompile(`([0-9.e+]+) (B/op|allocs/op)`)
+
+// parse reads bench output, folding repeated lines (from -count) by
+// min: the fastest repeat is the least-noisy estimate of the code's
+// cost, and allocs/op is deterministic so min loses nothing.
+func parse(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %v", line, err)
+		}
+		res := result{NsPerOp: ns}
+		for _, col := range metricCol.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(col[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad %s in %q: %v", col[2], line, err)
+			}
+			switch col[2] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp < res.BytesPerOp {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp < res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = res
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// compare gates measured results against the baseline. It returns the
+// markdown report and the list of failures (empty = gate passes).
+func compare(base *baseline, got map[string]result, threshold float64) (string, []string) {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "| benchmark | ns/op (base) | ns/op (new) | Δ | allocs/op (base) | allocs/op (new) | status |\n")
+	fmt.Fprintf(&md, "|---|---:|---:|---:|---:|---:|---|\n")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from bench output (renamed? update the baseline deliberately)", name))
+			fmt.Fprintf(&md, "| %s | %.0f | — | — | %.0f | — | ❌ missing |\n", name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = g.NsPerOp/b.NsPerOp - 1
+		}
+		status := "✅"
+		if delta > threshold {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f → %.0f, threshold %.0f%%)",
+				name, delta*100, b.NsPerOp, g.NsPerOp, threshold*100))
+			status = "❌ ns/op"
+		}
+		// Allocs gate with jitter tolerance: macro benchmarks amortize
+		// one-time setup allocations over b.N, so allocs/op wobbles by
+		// ±1 between runs with different iteration counts. 0.5% + half
+		// an alloc absorbs that while keeping zero-alloc benchmarks
+		// strict (0 → 1 still fails).
+		if g.AllocsPerOp > b.AllocsPerOp*1.005+0.5 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %.0f → %.0f (tolerance 0.5%% + ½ alloc)",
+				name, b.AllocsPerOp, g.AllocsPerOp))
+			if status == "✅" {
+				status = "❌ allocs"
+			} else {
+				status += "+allocs"
+			}
+		}
+		fmt.Fprintf(&md, "| %s | %.0f | %.0f | %+.1f%% | %.0f | %.0f | %s |\n",
+			name, b.NsPerOp, g.NsPerOp, delta*100, b.AllocsPerOp, g.AllocsPerOp, status)
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(&md, "| %s | — | %.0f | — | — | %.0f | ⚠️ not in baseline |\n",
+				name, got[name].NsPerOp, got[name].AllocsPerOp)
+		}
+	}
+	return md.String(), failures
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	basePath := fs.String("base", "BENCH_main.json", "baseline JSON file")
+	update := fs.Bool("update", false, "rewrite the baseline from the bench output instead of gating")
+	threshold := fs.Float64("threshold", 0.10, "relative ns/op growth that fails the gate")
+	summary := fs.String("summary", "", "append the markdown comparison to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	note := fs.String("note", "min of -count=3 at -benchtime=500ms; update via the command in EXPERIMENTS.md §Performance", "baseline provenance note (with -update)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		var readers []io.Reader
+		for _, p := range fs.Args() {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	got, err := parse(in)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		b := baseline{Note: *note, Benchmarks: got}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %s (%d benchmarks)\n", *basePath, len(got))
+		return nil
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: reading baseline: %w (run with -update to create one)", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchdiff: parsing %s: %w", *basePath, err)
+	}
+	md, failures := compare(&base, got, *threshold)
+	fmt.Fprint(stdout, md)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(f, "## Bench gate vs %s\n\n%s\n", *basePath, md); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchdiff: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "benchdiff: gate passed (%d benchmarks within %.0f%% ns/op, no alloc growth)\n",
+		len(base.Benchmarks), *threshold*100)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

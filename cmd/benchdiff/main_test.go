@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: diskpack
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFarmRun-8   	     150	  16184105 ns/op	         0.7654 saving	 4274154 B/op	    1223 allocs/op
+BenchmarkFarmRun-8   	     148	  16510213 ns/op	         0.7654 saving	 4274154 B/op	    1223 allocs/op
+BenchmarkFarmRun-8   	     151	  16090021 ns/op	         0.7654 saving	 4274154 B/op	    1223 allocs/op
+BenchmarkSweep/workers=4-8         	       9	 236503865 ns/op	         0.7319 saving@p0	84598330 B/op	  209630 allocs/op
+PASS
+`
+
+// parse must strip the GOMAXPROCS suffix, keep sub-benchmark names, and
+// fold -count repeats by min.
+func TestParseMinFold(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := got["BenchmarkFarmRun"]
+	if !ok {
+		t.Fatalf("BenchmarkFarmRun missing (keys %v)", got)
+	}
+	if fr.NsPerOp != 16090021 {
+		t.Errorf("min ns/op = %v, want 16090021", fr.NsPerOp)
+	}
+	if fr.AllocsPerOp != 1223 || fr.BytesPerOp != 4274154 {
+		t.Errorf("allocs/bytes = %v/%v", fr.AllocsPerOp, fr.BytesPerOp)
+	}
+	if _, ok := got["BenchmarkSweep/workers=4"]; !ok {
+		t.Error("sub-benchmark name not preserved")
+	}
+}
+
+// The gate must pass at parity, fail on a 20% ns/op slowdown, and fail
+// on any allocs/op growth — the contract the CI job relies on.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+
+	write := func(p, s string) {
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bench := func(ns, allocs int) string {
+		return "BenchmarkFarmRun-8 100 " + itoa(ns) + " ns/op 4274154 B/op " + itoa(allocs) + " allocs/op\n"
+	}
+
+	out := filepath.Join(dir, "bench.out")
+	write(out, bench(16000000, 1223))
+	var buf bytes.Buffer
+	if err := run([]string{"-base", basePath, "-update", out}, nil, &buf); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// Parity passes.
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err != nil {
+		t.Fatalf("gate failed at parity: %v", err)
+	}
+	// +5% passes (under the 10% threshold).
+	write(out, bench(16800000, 1223))
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err != nil {
+		t.Fatalf("gate failed at +5%%: %v", err)
+	}
+	// +20% fails.
+	write(out, bench(19200000, 1223))
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err == nil || !strings.Contains(err.Error(), "ns/op regressed") {
+		t.Fatalf("gate passed a 20%% slowdown (err=%v)", err)
+	}
+	// ±1 alloc of amortization jitter passes (one-time setup divided by
+	// a different b.N), but real growth fails even with faster ns/op.
+	write(out, bench(15000000, 1224))
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err != nil {
+		t.Fatalf("gate failed on 1-alloc jitter: %v", err)
+	}
+	write(out, bench(15000000, 1300))
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err == nil || !strings.Contains(err.Error(), "allocs/op grew") {
+		t.Fatalf("gate passed an alloc growth (err=%v)", err)
+	}
+	// A zero-alloc benchmark gaining its first alloc fails: zero stays
+	// zero, the tentpole's allocation-free guarantee.
+	write(out, bench(16000000, 1223)+"BenchmarkZero-8 100 50 ns/op 0 B/op 0 allocs/op\n")
+	if err := run([]string{"-base", basePath, "-update", out}, nil, &buf); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	write(out, bench(16000000, 1223)+"BenchmarkZero-8 100 50 ns/op 16 B/op 1 allocs/op\n")
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err == nil || !strings.Contains(err.Error(), "allocs/op grew") {
+		t.Fatalf("gate passed a zero-alloc benchmark gaining an alloc (err=%v)", err)
+	}
+	// A benchmark vanishing from the output fails.
+	write(out, "BenchmarkOther-8 100 5 ns/op\n")
+	if err := run([]string{"-base", basePath, out}, nil, &buf); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gate passed with the baselined benchmark missing (err=%v)", err)
+	}
+}
+
+// The summary file receives the markdown table.
+func TestSummaryFile(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	out := filepath.Join(dir, "bench.out")
+	sum := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(out, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-base", basePath, "-update", out}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-base", basePath, "-summary", sum, out}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "BenchmarkFarmRun") || !strings.Contains(string(b), "|") {
+		t.Errorf("summary does not look like a markdown table:\n%s", b)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

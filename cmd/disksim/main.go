@@ -57,9 +57,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -136,6 +139,8 @@ func run(args []string, out io.Writer) error {
 		controlName = fs.String("control", "", "run closed-loop under an online controller: tail-budget, rate-respec, or static to strip a scenario's controller")
 		epochF      = fs.Float64("epoch", 0, "telemetry window length in seconds for -control (default: the scenario's, or 1800)")
 		budgetF     = fs.Float64("budget", 0, "p95 response-time budget in seconds for -control tail-budget (default: the scenario's, or 20)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to FILE at exit (go tool pprof)")
 		verbose     = fs.Bool("v", false, "per-disk breakdown")
 	)
 	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed, control)")
@@ -167,7 +172,9 @@ func run(args []string, out io.Writer) error {
 	// allowlist: a flag the mode would silently ignore must fail loudly
 	// instead.
 	onlyFlags := func(mode, reason string, allowed ...string) error {
-		ok := map[string]bool{mode: true}
+		// Profiling composes with every mode — a worker or a merge is
+		// as legitimate a profile target as a plain run.
+		ok := map[string]bool{mode: true, "cpuprofile": true, "memprofile": true}
 		for _, a := range allowed {
 			ok[a] = true
 		}
@@ -178,6 +185,19 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+
+	// Start profiling before mode dispatch so every mode is coverable;
+	// the deferred stop flushes on every return path out of run(),
+	// which includes the graceful-SIGINT returns of -serve/-work/
+	// -run-shard (interruptContext turns the signal into a normal
+	// return). Modes without that machinery get a flush-and-exit
+	// handler from startProfiles itself.
+	gracefulMode := *serveAddr != "" || *workURL != "" || *runShard != ""
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, gracefulMode)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	// Parse the grid flags before any early return: a bad -sweep or
 	// -select must fail the run even alongside -scenarios, not be
@@ -584,6 +604,66 @@ func interruptContext() (context.Context, context.CancelFunc) {
 		stop()
 	}()
 	return ctx, stop
+}
+
+// startProfiles wires -cpuprofile/-memprofile: it starts the CPU
+// profile immediately and returns an idempotent stop that flushes and
+// closes both files. run() defers stop on every return path — the
+// graceful-SIGINT modes (-serve/-work/-run-shard) reach it because
+// interruptContext converts the signal into a normal return. For the
+// other modes, where SIGINT would otherwise kill the process with the
+// profile unflushed, startProfiles installs its own handler that
+// flushes and exits with the conventional interrupt status.
+func startProfiles(cpu, mem string, graceful bool) (stop func(), err error) {
+	if cpu == "" && mem == "" {
+		return func() {}, nil
+	}
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				if err := cpuF.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "disksim: -cpuprofile:", err)
+				}
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "disksim: -memprofile:", err)
+					return
+				}
+				runtime.GC() // get up-to-date heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "disksim: -memprofile:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "disksim: -memprofile:", err)
+				}
+			}
+		})
+	}
+	if !graceful {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			stop()
+			os.Exit(130)
+		}()
+	}
+	return stop, nil
 }
 
 // serveSweep runs the grid as a work-stealing coordinator and prints

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The profiling flags must produce non-empty pprof files on the normal
+// exit path, for any mode (here: a plain scenario run).
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "paper-synth",
+		"-cpuprofile", cpu,
+		"-memprofile", mem,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// A pprof file is gzipped protobuf: check the gzip magic so an
+	// accidentally-empty-but-created file cannot pass.
+	b, err := os.ReadFile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Errorf("cpu profile does not look like a pprof file (first bytes % x)", b[:min(4, len(b))])
+	}
+}
+
+// An unwritable profile path must fail the run up front, not at exit.
+func TestProfileFlagBadPathFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "paper-synth",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "cpuprofile") {
+		t.Fatalf("want -cpuprofile error, got %v", err)
+	}
+}

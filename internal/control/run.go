@@ -74,7 +74,9 @@ func RunSpec(spec farm.Spec, seed int64) (*Result, error) {
 	inner.Control = nil
 	res := &Result{Controller: cs.Controller}
 	m, err := farm.RunStream(inner, seed, cs.Epoch, func(w *farm.Window, act *farm.Actuator) error {
-		res.Windows = append(res.Windows, *w)
+		// Snapshots are double-buffered and reused two windows later;
+		// deep-copy what we retain.
+		res.Windows = append(res.Windows, *w.Clone())
 		if w.Final {
 			// Nothing follows the final window; deciding on it would
 			// only clutter the action log.

@@ -235,11 +235,18 @@ func (fixedPolicy) ObserveIdle(float64) {}
 // Request is a whole-file read submitted to a disk. Done, if non-nil,
 // runs at completion time with the request itself; response time is
 // completion minus Arrival (queueing + spin-up penalty + service).
+// Callers that pool Requests may recycle the struct from inside Done —
+// the disk holds no reference past that call.
 type Request struct {
 	FileID  int
 	Size    int64
 	Arrival sim.Time
 	Done    func(*Request, sim.Time)
+
+	// Tag is caller-owned context carried through to Done (the storage
+	// layer stores the disk index here so one shared Done function can
+	// serve every request without a per-request closure).
+	Tag int
 
 	// ServiceStart records when the disk began positioning for this
 	// request, for wait-time decomposition.
@@ -263,8 +270,9 @@ type Disk struct {
 	energy     float64
 	stateDur   [numStates]float64
 
-	queue     []*Request
-	idleTimer *sim.Event
+	queue     []*Request // head-indexed deque: live entries are queue[qhead:]
+	qhead     int
+	idleTimer sim.Event
 	wantUp    bool // a request arrived while spinning down
 
 	spinUps   int
@@ -318,7 +326,7 @@ func (d *Disk) Params() Params { return d.params }
 func (d *Disk) State() State { return d.state }
 
 // QueueLen returns the number of requests waiting or in service.
-func (d *Disk) QueueLen() int { return len(d.queue) }
+func (d *Disk) QueueLen() int { return len(d.queue) - d.qhead }
 
 // Served returns the number of completed requests.
 func (d *Disk) Served() int64 { return d.served }
@@ -349,9 +357,21 @@ func (d *Disk) Submit(req *Request) {
 		d.policy.ObserveIdle(d.env.Now() - d.idleSince)
 		d.inGap = false
 	}
+	if d.qhead > 0 && len(d.queue) == cap(d.queue) {
+		// Reclaim the dequeued prefix instead of growing: the queue is a
+		// head-indexed deque precisely so steady-state traffic reuses one
+		// backing array (a [1:] re-slice leaks its front capacity and
+		// reallocates every ~cap requests).
+		n := copy(d.queue, d.queue[d.qhead:])
+		for i := n; i < len(d.queue); i++ {
+			d.queue[i] = nil
+		}
+		d.queue = d.queue[:n]
+		d.qhead = 0
+	}
 	d.queue = append(d.queue, req)
-	if len(d.queue) > d.peakQueue {
-		d.peakQueue = len(d.queue)
+	if d.QueueLen() > d.peakQueue {
+		d.peakQueue = d.QueueLen()
 	}
 	switch d.state {
 	case Idle:
@@ -386,6 +406,15 @@ func (d *Disk) enterIdle() {
 	d.armIdleTimer()
 }
 
+// Event callbacks are package-level functions taking the disk as the
+// boxed argument: sim.ScheduleArg with a static func and a pointer arg
+// performs no per-event allocation, unlike method values or closures.
+func idleTimeoutCB(a any)  { a.(*Disk).onIdleTimeout() }
+func spinDownDoneCB(a any) { a.(*Disk).onSpinDownComplete() }
+func spinUpDoneCB(a any)   { a.(*Disk).onSpinUpComplete() }
+func seekDoneCB(a any)     { a.(*Disk).onSeekDone() }
+func transferDoneCB(a any) { a.(*Disk).onTransferDone() }
+
 func (d *Disk) armIdleTimer() {
 	t := d.policy.Timeout()
 	if math.IsInf(t, 1) {
@@ -394,28 +423,24 @@ func (d *Disk) armIdleTimer() {
 	if t < 0 || math.IsNaN(t) {
 		panic(fmt.Sprintf("disk: policy returned invalid timeout %v", t))
 	}
-	d.idleTimer = d.env.Schedule(t, d.onIdleTimeout)
+	d.idleTimer = d.env.ScheduleArg(t, idleTimeoutCB, d)
 }
 
 func (d *Disk) cancelIdleTimer() {
-	if d.idleTimer != nil {
-		d.idleTimer.Cancel()
-		d.idleTimer = nil
-	}
+	d.idleTimer.Cancel()
 }
 
 func (d *Disk) onIdleTimeout() {
-	d.idleTimer = nil
-	if d.state != Idle || len(d.queue) > 0 {
+	if d.state != Idle || d.QueueLen() > 0 {
 		return
 	}
 	d.transition(SpinningDown)
 	d.spinDowns++
-	d.env.Schedule(d.params.SpinDownTime, d.onSpinDownComplete)
+	d.env.ScheduleArg(d.params.SpinDownTime, spinDownDoneCB, d)
 }
 
 func (d *Disk) onSpinDownComplete() {
-	if d.wantUp || len(d.queue) > 0 {
+	if d.wantUp || d.QueueLen() > 0 {
 		d.wantUp = false
 		// Charge the completed spin-down segment, then immediately
 		// start spinning back up.
@@ -428,11 +453,11 @@ func (d *Disk) onSpinDownComplete() {
 func (d *Disk) beginSpinUp() {
 	d.transition(SpinningUp)
 	d.spinUps++
-	d.env.Schedule(d.params.SpinUpTime, d.onSpinUpComplete)
+	d.env.ScheduleArg(d.params.SpinUpTime, spinUpDoneCB, d)
 }
 
 func (d *Disk) onSpinUpComplete() {
-	if len(d.queue) > 0 {
+	if d.QueueLen() > 0 {
 		d.startNext()
 		return
 	}
@@ -440,29 +465,36 @@ func (d *Disk) onSpinUpComplete() {
 }
 
 // startNext begins servicing the queue head. Caller guarantees the disk
-// is spinning (Idle or just finished SpinningUp/Transferring).
+// is spinning (Idle or just finished SpinningUp/Transferring). The
+// in-service request stays at the queue head until completion (FIFO
+// single-server), so the seek and transfer callbacks need no captured
+// request — and therefore no closure.
 func (d *Disk) startNext() {
-	req := d.queue[0]
-	req.ServiceStart = d.env.Now()
+	d.queue[d.qhead].ServiceStart = d.env.Now()
 	d.transition(Seeking)
-	d.env.Schedule(d.params.PositioningTime(), func() {
-		d.transition(Transferring)
-		d.env.Schedule(d.params.TransferTime(req.Size), func() {
-			d.completeRequest(req)
-		})
-	})
+	d.env.ScheduleArg(d.params.PositioningTime(), seekDoneCB, d)
 }
 
-func (d *Disk) completeRequest(req *Request) {
+func (d *Disk) onSeekDone() {
+	d.transition(Transferring)
+	d.env.ScheduleArg(d.params.TransferTime(d.queue[d.qhead].Size), transferDoneCB, d)
+}
+
+func (d *Disk) onTransferDone() {
+	req := d.queue[d.qhead]
 	// Dequeue head (must be req: FIFO single-server).
-	d.queue[0] = nil
-	d.queue = d.queue[1:]
+	d.queue[d.qhead] = nil
+	d.qhead++
+	if d.qhead == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.qhead = 0
+	}
 	d.served++
 	d.bytesRead += req.Size
 	if req.Done != nil {
 		req.Done(req, d.env.Now())
 	}
-	if len(d.queue) > 0 {
+	if d.QueueLen() > 0 {
 		d.startNext()
 		return
 	}

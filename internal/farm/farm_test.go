@@ -251,13 +251,22 @@ func TestBuiltinScenariosRun(t *testing.T) {
 					t.Fatalf("run %s completed no requests", res.Labels[i])
 				}
 			}
-			if sc.Sweep != nil {
+			switch {
+			case sc.Sweep != nil:
 				if res.Best >= 0 && res.Runs[res.Best].RespP95 > sc.Sweep.MaxP95 {
 					t.Fatalf("chosen operating point violates the SLO: p95 %v > %v",
 						res.Runs[res.Best].RespP95, sc.Sweep.MaxP95)
 				}
-			} else if res.Best != 0 {
-				t.Fatalf("single-run scenario Best = %d, want 0", res.Best)
+			case sc.Grid != nil:
+				// Grid scenarios pick Best with their own selector (or
+				// none: -1); any in-range index is valid here.
+				if res.Best < -1 || res.Best >= len(res.Runs) {
+					t.Fatalf("grid scenario Best = %d with %d runs", res.Best, len(res.Runs))
+				}
+			default:
+				if res.Best != 0 {
+					t.Fatalf("single-run scenario Best = %d, want 0", res.Best)
+				}
 			}
 		})
 	}

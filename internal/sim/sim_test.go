@@ -99,7 +99,7 @@ func TestCancel(t *testing.T) {
 func TestCancelFromCallback(t *testing.T) {
 	env := NewEnv()
 	fired := false
-	var target *Event
+	var target Event
 	target = env.Schedule(2.0, func() { fired = true })
 	env.Schedule(1.0, func() { target.Cancel() })
 	env.Run()
@@ -250,13 +250,13 @@ func TestCancelSubsetProperty(t *testing.T) {
 		env := NewEnv()
 		firedCount := 0
 		cancelled := 0
-		events := make([]*Event, int(n)+1)
+		events := make([]Event, int(n)+1)
 		for i := range events {
 			events[i] = env.Schedule(rng.Float64()*100, func() { firedCount++ })
 		}
-		for _, ev := range events {
+		for i := range events {
 			if rng.Intn(2) == 0 {
-				ev.Cancel()
+				events[i].Cancel()
 				cancelled++
 			}
 		}
@@ -363,6 +363,7 @@ func BenchmarkEventLoop(b *testing.B) {
 		}
 	}
 	env.Schedule(1.0, step)
+	b.ReportAllocs()
 	b.ResetTimer()
 	env.Run()
 }
@@ -375,6 +376,7 @@ func BenchmarkEventQueueChurn(b *testing.B) {
 		env.Schedule(rng.Float64()*1000, func() {})
 	}
 	fired := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for fired < b.N {
 		if !env.Step() {

@@ -112,6 +112,14 @@ func (s *Sample) Add(x float64) {
 	s.w.Add(x)
 }
 
+// Reset empties the sample while keeping its backing storage, so a
+// per-window accumulator reset does not reallocate every epoch.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.w = Welford{}
+}
+
 // Count returns the number of observations.
 func (s *Sample) Count() int64 { return int64(len(s.xs)) }
 

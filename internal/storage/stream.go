@@ -102,7 +102,11 @@ type GroupWindow struct {
 	Threshold float64
 }
 
-// Window is one epoch's telemetry snapshot.
+// Window is one epoch's telemetry snapshot. Snapshots are
+// double-buffered: the Window passed to an observer is valid until the
+// next-but-one window boundary, after which its storage is reused. An
+// observer that only reads within its OnWindow call needs nothing
+// special; one that retains windows across epochs must Clone them.
 type Window struct {
 	// Index numbers windows from zero.
 	Index int
@@ -123,6 +127,21 @@ type Window struct {
 	MigratedBytes   int64
 }
 
+// Clone returns a deep copy of the window that shares no storage with
+// the double-buffered snapshot, safe to retain indefinitely.
+func (w *Window) Clone() *Window {
+	c := *w
+	c.Groups = make([]GroupWindow, len(w.Groups))
+	copy(c.Groups, w.Groups)
+	for g := range c.Groups {
+		c.Groups[g].IdleGaps = append([]int64(nil), w.Groups[g].IdleGaps...)
+		c.Groups[g].RespHist = append([]int64(nil), w.Groups[g].RespHist...)
+	}
+	c.Total.IdleGaps = append([]int64(nil), w.Total.IdleGaps...)
+	c.Total.RespHist = append([]int64(nil), w.Total.RespHist...)
+	return &c
+}
+
 // StreamConfig parameterizes a windowed run.
 type StreamConfig struct {
 	// Epoch is the window length in seconds (> 0).
@@ -132,8 +151,9 @@ type StreamConfig struct {
 	GroupOf []int
 	// OnWindow is called at every epoch boundary with the window just
 	// closed and the actuation handle. Returning an error aborts the
-	// run. The snapshot is immutable history; actuations apply to the
-	// simulation from the boundary onward.
+	// run. The snapshot is immutable history, valid until the
+	// next-but-one boundary (double-buffered — Clone to retain);
+	// actuations apply to the simulation from the boundary onward.
 	OnWindow func(w *Window, ctl *RunControl) error
 }
 
@@ -238,9 +258,10 @@ type gapRecorder struct {
 func (g *gapRecorder) Timeout() float64 { return g.inner.Timeout() }
 
 func (g *gapRecorder) ObserveIdle(gap float64) {
-	b := idleGapBucket(gap)
-	g.acc.gaps[g.group][b]++
-	g.acc.gapsTotal[b]++
+	// Only the per-group bucket is touched here; the farm-wide total is
+	// a sum over groups computed once per window at snapshot time, not
+	// a second increment on every gap.
+	g.acc.gaps[g.group][idleGapBucket(gap)]++
 	g.inner.ObserveIdle(gap)
 }
 
@@ -248,16 +269,23 @@ func (g *gapRecorder) ObserveIdle(gap float64) {
 // the cumulative counters at the previous boundary so snapshot can
 // report deltas.
 type winAccum struct {
-	groupOf    []int
-	disksIn    []int // disks per group
-	resp       []stats.Sample
-	respTotal  stats.Sample
-	arrivals   []int64
-	arrTotal   int64
-	gaps       [][]int64
-	gapsTotal  []int64
-	rhist      [][]int64
-	rhistTotal []int64
+	groupOf []int
+	disksIn []int // disks per group
+	// Per-group accumulators, reset (capacity kept) every window. The
+	// farm-wide histogram and arrival totals are derived by summing
+	// groups at snapshot time; only respTotal runs in the hot path,
+	// because exact farm-wide quantiles cannot be recovered from
+	// per-group samples.
+	resp      []stats.Sample
+	respTotal stats.Sample
+	arrivals  []int64
+	gaps      [][]int64
+	rhist     [][]int64
+	// bufs double-buffers the emitted snapshots: the window under
+	// construction reuses the storage of the window before last, so an
+	// observer can read (or hand off) the previous snapshot while the
+	// current one fills without any per-epoch slice allocation.
+	bufs [2]Window
 
 	prevEnergy    []float64
 	prevUps       []int
@@ -284,9 +312,7 @@ func newWinAccum(groupOf []int, numDisks int) *winAccum {
 		resp:        make([]stats.Sample, ng),
 		arrivals:    make([]int64, ng),
 		gaps:        make([][]int64, ng),
-		gapsTotal:   make([]int64, len(idleGapBounds)+1),
 		rhist:       make([][]int64, ng),
-		rhistTotal:  make([]int64, len(respBounds)+1),
 		prevEnergy:  make([]float64, numDisks),
 		prevUps:     make([]int, numDisks),
 		prevDowns:   make([]int, numDisks),
@@ -302,6 +328,15 @@ func newWinAccum(groupOf []int, numDisks int) *winAccum {
 	if len(groupOf) == 0 {
 		a.disksIn[0] = numDisks
 	}
+	for i := range a.bufs {
+		a.bufs[i].Groups = make([]GroupWindow, ng)
+		for g := range a.bufs[i].Groups {
+			a.bufs[i].Groups[g].IdleGaps = make([]int64, len(idleGapBounds)+1)
+			a.bufs[i].Groups[g].RespHist = make([]int64, len(respBounds)+1)
+		}
+		a.bufs[i].Total.IdleGaps = make([]int64, len(idleGapBounds)+1)
+		a.bufs[i].Total.RespHist = make([]int64, len(respBounds)+1)
+	}
 	return a
 }
 
@@ -312,22 +347,26 @@ func (a *winAccum) group(d int) int {
 	return a.groupOf[d]
 }
 
-// snapshot closes the window [start, end], returning a freshly
-// allocated Window and advancing the previous-boundary counters. The
-// returned snapshot shares nothing with the accumulator, so observers
-// may retain it.
+// snapshot closes the window [start, end], filling the next snapshot
+// buffer and advancing the previous-boundary counters. The returned
+// Window reuses double-buffered storage: it stays valid until the
+// next-but-one snapshot, and retaining observers must Clone it.
 func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window {
-	w := &Window{
-		Index:  a.index,
-		Start:  start,
-		End:    end,
-		Final:  final,
-		Groups: make([]GroupWindow, len(a.resp)),
-	}
+	w := &a.bufs[a.index&1]
+	w.Index = a.index
+	w.Start, w.End, w.Final = start, end, final
 	a.index++
-	fill := func(gw *GroupWindow, s *stats.Sample, arrivals int64, gaps, rhist []int64) {
-		gw.Arrivals = arrivals
-		gw.Completed = s.Count()
+	fill := func(gw *GroupWindow, group, disks int, s *stats.Sample, arrivals int64) {
+		// Keep the buffer's slices across the struct reset.
+		gaps, rhist := gw.IdleGaps, gw.RespHist
+		*gw = GroupWindow{
+			Group:     group,
+			Disks:     disks,
+			Arrivals:  arrivals,
+			Completed: s.Count(),
+			IdleGaps:  gaps,
+			RespHist:  rhist,
+		}
 		if s.Count() > 0 {
 			gw.RespMean = s.Mean()
 			gw.RespP50 = s.Quantile(0.5)
@@ -335,17 +374,31 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 			gw.RespP99 = s.Quantile(0.99)
 			gw.RespMax = s.Max()
 		}
-		gw.IdleGaps = append([]int64(nil), gaps...)
-		gw.RespHist = append([]int64(nil), rhist...)
 	}
+	var arrTotal int64
 	for g := range w.Groups {
-		w.Groups[g].Group = g
-		w.Groups[g].Disks = a.disksIn[g]
-		fill(&w.Groups[g], &a.resp[g], a.arrivals[g], a.gaps[g], a.rhist[g])
+		fill(&w.Groups[g], g, a.disksIn[g], &a.resp[g], a.arrivals[g])
+		copy(w.Groups[g].IdleGaps, a.gaps[g])
+		copy(w.Groups[g].RespHist, a.rhist[g])
+		arrTotal += a.arrivals[g]
 	}
-	w.Total.Group = -1
-	w.Total.Disks = m.cfg.NumDisks
-	fill(&w.Total, &a.respTotal, a.arrTotal, a.gapsTotal, a.rhistTotal)
+	fill(&w.Total, -1, m.cfg.NumDisks, &a.respTotal, arrTotal)
+	// Farm-wide histograms are the sum over groups, computed once here
+	// rather than double-counted on every hot-path increment.
+	for b := range w.Total.IdleGaps {
+		w.Total.IdleGaps[b] = 0
+	}
+	for b := range w.Total.RespHist {
+		w.Total.RespHist[b] = 0
+	}
+	for g := range a.gaps {
+		for b, v := range a.gaps[g] {
+			w.Total.IdleGaps[b] += v
+		}
+		for b, v := range a.rhist[g] {
+			w.Total.RespHist[b] += v
+		}
+	}
 	for d, dk := range m.disks {
 		g := a.group(d)
 		e := dk.EnergyAt(end)
@@ -364,6 +417,7 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 		a.prevDowns[d] = downs
 		a.prevStandby[d] = standby
 	}
+	w.CacheHits, w.CacheMisses = 0, 0
 	if m.lru != nil {
 		s := m.lru.Stats()
 		w.CacheHits, w.CacheMisses = s.Hits-a.prevHits, s.Misses-a.prevMisses
@@ -373,9 +427,10 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 	w.MigratedFiles = m.migratedFiles - a.prevMigFiles
 	w.MigratedBytes = m.migratedBytes - a.prevMigBytes
 	a.prevMigEnergy, a.prevMigFiles, a.prevMigBytes = m.migrationEnergy, m.migratedFiles, m.migratedBytes
-	// Reset the per-window accumulators for the next window.
+	// Reset the per-window accumulators for the next window, keeping
+	// their backing storage.
 	for g := range a.resp {
-		a.resp[g] = stats.Sample{}
+		a.resp[g].Reset()
 		a.arrivals[g] = 0
 		for b := range a.gaps[g] {
 			a.gaps[g][b] = 0
@@ -384,14 +439,7 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 			a.rhist[g][b] = 0
 		}
 	}
-	a.respTotal = stats.Sample{}
-	a.arrTotal = 0
-	for b := range a.gapsTotal {
-		a.gapsTotal[b] = 0
-	}
-	for b := range a.rhistTotal {
-		a.rhistTotal[b] = 0
-	}
+	a.respTotal.Reset()
 	return w
 }
 
@@ -399,9 +447,11 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 // counters. Both Run and RunStream drive it; the stream fields stay nil
 // on the classic path.
 type machine struct {
-	cfg Config
-	tr  *trace.Trace
-	env *sim.Env
+	cfg     Config
+	tr      *trace.Trace
+	env     *sim.Env
+	nextReq int    // index of the next trace request to dispatch (chained arrivals)
+	arrSeq  uint64 // FIFO position reserved for request 0 (request i gets arrSeq+i)
 
 	disks     []*disk.Disk
 	lru       *cache.LRU
@@ -416,6 +466,56 @@ type machine struct {
 
 	sc  *StreamConfig
 	acc *winAccum
+
+	// Request pool: per-request state is recycled through a free list
+	// (slab-allocated) and every request shares one Done function —
+	// doneFn, the m.onDone method value bound once at construction —
+	// with the owning disk index carried in Request.Tag. Steady-state
+	// submit/complete therefore allocates nothing.
+	doneFn  func(*disk.Request, sim.Time)
+	reqFree []*disk.Request
+	reqSlab []disk.Request
+}
+
+// reqSlabSize is the request-pool refill size; a refill covers one
+// disk's worth of queue depth several times over.
+const reqSlabSize = 64
+
+func (m *machine) allocReq() *disk.Request {
+	if n := len(m.reqFree); n > 0 {
+		r := m.reqFree[n-1]
+		m.reqFree = m.reqFree[:n-1]
+		return r
+	}
+	if len(m.reqSlab) == 0 {
+		m.reqSlab = make([]disk.Request, reqSlabSize)
+	}
+	r := &m.reqSlab[0]
+	m.reqSlab = m.reqSlab[1:]
+	return r
+}
+
+// nextArrivalCB dispatches the next trace request and schedules the one
+// after it. Arrivals are chained — exactly one arrival event is pending
+// at any instant — so the event queue holds only the simulation's
+// working set (services, timers, one arrival) instead of the whole
+// trace horizon. That keeps the calendar queue's epoch span near-term
+// (idle timers stay rung-resident with O(1) cancel) and the node pool
+// proportional to concurrency, not trace length. Validate() guarantees
+// the request stream is time-sorted, which is what makes the chain
+// legal; the FIFO positions reserved at construction (arrSeq) make it
+// invisible — every arrival keeps the tie-breaking rank it would have
+// had scheduled upfront, so runs are byte-identical to the eager
+// scheme.
+func nextArrivalCB(a any) {
+	m := a.(*machine)
+	r := m.tr.Requests[m.nextReq]
+	m.nextReq++
+	if m.nextReq < len(m.tr.Requests) {
+		m.env.AtArgSeq(m.tr.Requests[m.nextReq].Time, nextArrivalCB, m,
+			m.arrSeq+uint64(m.nextReq))
+	}
+	m.onRequest(r)
 }
 
 // newMachine validates inputs and assembles the run (disks, cache,
@@ -480,9 +580,10 @@ func newMachine(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig) (*m
 			m.freeBytes[d] -= tr.Files[f].Size
 		}
 	}
-	for _, r := range tr.Requests {
-		r := r
-		m.env.At(r.Time, func() { m.onRequest(r) })
+	m.doneFn = m.onDone
+	if len(tr.Requests) > 0 {
+		m.arrSeq = m.env.ReserveSeqs(len(tr.Requests))
+		m.env.AtArgSeq(tr.Requests[0].Time, nextArrivalCB, m, m.arrSeq)
 	}
 	return m, nil
 }
@@ -528,7 +629,6 @@ func (m *machine) noteArrival(d int) {
 		return
 	}
 	m.acc.arrivals[m.acc.group(d)]++
-	m.acc.arrTotal++
 }
 
 // noteComplete records a completion served by disk d (or its cache
@@ -539,10 +639,8 @@ func (m *machine) noteComplete(d int, rt float64) {
 	}
 	g := m.acc.group(d)
 	m.acc.resp[g].Add(rt)
-	m.acc.respTotal.Add(rt)
-	b := respBucket(rt)
-	m.acc.rhist[g][b]++
-	m.acc.rhistTotal[b]++
+	m.acc.respTotal.Add(rt) // farm-wide quantiles need every sample
+	m.acc.rhist[g][respBucket(rt)]++
 }
 
 // onRequest dispatches one trace request at its arrival instant.
@@ -584,22 +682,30 @@ func (m *machine) onRequest(r trace.Request) {
 	m.submit(d, r.FileID, size)
 }
 
-// submit enqueues a whole-file read on disk d.
+// submit enqueues a whole-file read on disk d using a pooled request.
 func (m *machine) submit(d int, fileID int, size int64) {
-	m.disks[d].Submit(&disk.Request{
+	req := m.allocReq()
+	*req = disk.Request{
 		FileID:  fileID,
 		Size:    size,
 		Arrival: m.env.Now(),
-		Done: func(req *disk.Request, doneAt sim.Time) {
-			rt := doneAt - req.Arrival
-			m.resp.Add(rt)
-			m.completed++
-			if m.lru != nil {
-				m.lru.Put(req.FileID, req.Size)
-			}
-			m.noteComplete(d, rt)
-		},
-	})
+		Done:    m.doneFn,
+		Tag:     d,
+	}
+	m.disks[d].Submit(req)
+}
+
+// onDone is the completion callback shared by every pooled request; it
+// recycles the request, which the disk permits from inside Done.
+func (m *machine) onDone(req *disk.Request, doneAt sim.Time) {
+	rt := doneAt - req.Arrival
+	m.resp.Add(rt)
+	m.completed++
+	if m.lru != nil {
+		m.lru.Put(req.FileID, req.Size)
+	}
+	m.noteComplete(req.Tag, rt)
+	m.reqFree = append(m.reqFree, req)
 }
 
 // horizon returns the accounting horizon: the trace duration, extended

@@ -54,7 +54,7 @@ func TestStreamWindowCadence(t *testing.T) {
 	_, err := RunStream(tr, assign, Config{NumDisks: 3, IdleThreshold: 30}, StreamConfig{
 		Epoch: 90,
 		OnWindow: func(w *Window, ctl *RunControl) error {
-			windows = append(windows, *w)
+			windows = append(windows, *w.Clone())
 			return nil
 		},
 	})
@@ -89,7 +89,7 @@ func TestStreamRealloc(t *testing.T) {
 		Epoch: 450,
 		OnWindow: func(w *Window, ctl *RunControl) error {
 			if moved && afterRealloc == nil {
-				afterRealloc = w
+				afterRealloc = w.Clone() // snapshots are double-buffered
 			}
 			if moved || w.Final {
 				return nil
