@@ -283,6 +283,17 @@ func BenchmarkSweep(b *testing.B) {
 			{Kind: farm.AxisFarmSize, Values: []float64{12, 16, 20, 24}},
 		},
 	}
+	// Each leg gates against its own committed baseline, and the
+	// workers=4 leg additionally reports its measured speedup over the
+	// workers=1 leg — on a multi-core machine that number is the
+	// scaling check; on a single core it exposes the pool's overhead
+	// (slightly below 1.0) instead of pretending to measure scaling.
+	// The committed baselines were recorded on a single-core container
+	// (see EXPERIMENTS.md §Performance), which is why workers=4 is not
+	// faster there: 16 points × ~8 ms share one core, so the delta is
+	// pure pool overhead. The gate still catches regressions — each
+	// leg's ns/op is compared to its own history, never across legs.
+	var refNs float64
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -295,6 +306,12 @@ func BenchmarkSweep(b *testing.B) {
 				saving = res.Points[0].Metrics.PowerSavingRatio
 			}
 			b.ReportMetric(saving, "saving@p0")
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				refNs = ns
+			} else if refNs > 0 {
+				b.ReportMetric(refNs/ns, "speedup-vs-1worker")
+			}
 		})
 	}
 }
@@ -346,7 +363,9 @@ func BenchmarkControlEpoch(b *testing.B) {
 // cost is the event kernel itself (≈2.2M timer events beyond the
 // request path), so this benchmark tracks exactly what the calendar
 // queue and free list are for. Reports wall-clock request throughput.
-func BenchmarkMillionDiskEpoch(b *testing.B) {
+// millionDiskSetup builds the 2²⁰-disk, 10⁵-request epoch shared by
+// the sequential and parallel million-disk benches.
+func millionDiskSetup() (*trace.Trace, []int, storage.Config, int) {
 	const (
 		nDisks  = 1 << 20 // 1,048,576 drives
 		nFiles  = 1 << 17 // 131,072 files on distinct disks
@@ -368,7 +387,11 @@ func BenchmarkMillionDiskEpoch(b *testing.B) {
 			FileID: rng.Intn(nFiles),
 		}
 	}
-	cfg := storage.Config{NumDisks: nDisks, IdleThreshold: storage.BreakEven}
+	return tr, assign, storage.Config{NumDisks: nDisks, IdleThreshold: storage.BreakEven}, nReqs
+}
+
+func BenchmarkMillionDiskEpoch(b *testing.B) {
+	tr, assign, cfg, nReqs := millionDiskSetup()
 	b.ReportAllocs()
 	b.ResetTimer()
 	var completed int64
@@ -383,6 +406,36 @@ func BenchmarkMillionDiskEpoch(b *testing.B) {
 		b.Fatal("no requests completed")
 	}
 	b.ReportMetric(float64(nReqs*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkMillionDiskEpochParallel shards the same epoch across
+// worker goroutines. The classic (un-windowed) path needs exactly one
+// barrier round, so the workers=1 leg measures the sharding machinery's
+// fixed cost and the others measure scaling — near-linear on real
+// cores, flat on a single-core machine where the legs gate scheduling
+// overhead instead (each leg compares against its own committed
+// baseline; see EXPERIMENTS.md §Parallel execution).
+func BenchmarkMillionDiskEpochParallel(b *testing.B) {
+	tr, assign, cfg, nReqs := millionDiskSetup()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var completed int64
+			for i := 0; i < b.N; i++ {
+				res, err := storage.RunParallel(tr, assign, cfg,
+					storage.ParallelConfig{Workers: workers, Label: "million-disk"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				completed = res.Completed
+			}
+			if completed == 0 {
+				b.Fatal("no requests completed")
+			}
+			b.ReportMetric(float64(nReqs*b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
 }
 
 // packingInstance builds the skewed instance used by the complexity

@@ -121,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		cacheB      = fs.Float64("cache", 0, "LRU cache bytes (0 = none; paper uses 16e9)")
 		seed        = fs.Int64("seed", 1, "seed for random placement and randomized policies")
 		workers     = fs.Int("workers", 0, "parallel sweep simulations (0 = GOMAXPROCS)")
+		simWorkers  = fs.Int("sim-workers", 1, "shard each simulation across N worker goroutines (0 = GOMAXPROCS); results are identical at any value")
 		selectS     = fs.String("select", "", "sweep operating-point rule: slo=SECONDS, knee, pareto (default none)")
 		specIn      = fs.String("spec", "", "run a JSON scenario file (a Spec or a Sweep; see -spec-out)")
 		specOut     = fs.String("spec-out", "", "write the assembled spec/sweep as JSON and exit")
@@ -173,8 +174,10 @@ func run(args []string, out io.Writer) error {
 	// instead.
 	onlyFlags := func(mode, reason string, allowed ...string) error {
 		// Profiling composes with every mode — a worker or a merge is
-		// as legitimate a profile target as a plain run.
-		ok := map[string]bool{mode: true, "cpuprofile": true, "memprofile": true}
+		// as legitimate a profile target as a plain run. So does
+		// -sim-workers: it only shards the simulations the mode runs,
+		// never what they compute.
+		ok := map[string]bool{mode: true, "cpuprofile": true, "memprofile": true, "sim-workers": true}
 		for _, a := range allowed {
 			ok[a] = true
 		}
@@ -224,6 +227,13 @@ func run(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: valid values are >= 1 (or 0 for one worker per core)", *workers)
 	}
+	if *simWorkers < 0 {
+		return fmt.Errorf("-sim-workers %d: valid values are >= 1 (or 0 for one worker per core)", *simWorkers)
+	}
+	// Effective for every simulation any mode runs from here on; the
+	// kernel routes non-shardable runs (cache-fronted, unplaced writes)
+	// to its sequential path on its own.
+	farm.SetSimWorkers(*simWorkers)
 
 	if *list {
 		if err := onlyFlags("scenarios", "it only lists the catalogue"); err != nil {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// -sim-workers is plumbing, not policy: any worker count must produce
+// byte-identical CLI output, on open-loop and controlled scenarios
+// alike.
+func TestSimWorkersOutputIdentical(t *testing.T) {
+	for _, scenario := range []string{"hetero", "controlled-bursty"} {
+		var ref bytes.Buffer
+		if err := run([]string{"-scenario", scenario, "-seed", "3", "-sim-workers", "1"}, &ref); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []string{"4", "0"} { // explicit shards and one-per-core
+			var got bytes.Buffer
+			if err := run([]string{"-scenario", scenario, "-seed", "3", "-sim-workers", w}, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != ref.String() {
+				t.Errorf("%s: -sim-workers %s output differs from -sim-workers 1", scenario, w)
+			}
+		}
+	}
+}
+
+// The flag validates like -workers and composes with every mode
+// (it only shards the simulations a mode runs).
+func TestSimWorkersFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "hetero", "-sim-workers", "-2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-sim-workers") {
+		t.Fatalf("negative -sim-workers not rejected: %v", err)
+	}
+	if err := run([]string{"-scenarios", "-sim-workers", "4"}, &out); err != nil {
+		t.Errorf("-sim-workers rejected alongside -scenarios: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Parallel stress suite: the targeted race/stress test for the
+// group-sharded kernel. Many tiny windows on a multi-group farm with a
+// controller actuating at every single boundary maximizes
+// barrier-crossing traffic — threshold writes into shared
+// policy.Tunable knobs, reallocations rewriting the placement map,
+// accumulator resets — which is exactly where a missing
+// happens-before edge would surface. CI's race job runs the whole
+// tree with -race, so this file is covered there automatically; the
+// byte-identity assertions double as the correctness check at full
+// parallelism.
+package control
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/farm"
+	"diskpack/internal/workload"
+)
+
+// stressSpec is a four-group heterogeneous farm under heavy load: the
+// group count guarantees a genuine multi-shard layout (the shard unit
+// is the telemetry group), and the 50 s epoch over a 4000 s horizon
+// gives the controller 80 actuation boundaries.
+func stressSpec(controller string, epoch float64) farm.Spec {
+	cfg := workload.DefaultSynthetic(6, 0)
+	cfg.NumFiles = 400
+	cfg.MinSize = 4 * disk.MB
+	cfg.MaxSize = 64 * disk.MB
+	spec := farm.Spec{
+		Name: "parallel-stress-" + controller,
+		Groups: []farm.DiskGroup{
+			{Count: 3, Params: disk.DefaultParams()},
+			{Count: 3, Params: disk.EcoParams()},
+			{Count: 3, Params: disk.DefaultParams()},
+			{Count: 3, Params: disk.EcoParams()},
+		},
+		Workload: farm.SyntheticWorkload(cfg),
+		Alloc:    farm.Packed(0.7),
+		Spin:     farm.SpinSpec{Kind: farm.SpinTailAware},
+		Control: &farm.ControlSpec{
+			Controller: controller,
+			Epoch:      epoch,
+			BudgetP95:  15,
+			// Rate-respec knobs (ignored by tail-budget): a hair-trigger
+			// respec factor so re-plans — and the cross-shard migrations
+			// they actuate — fire repeatedly.
+			RespecFactor: 1.05,
+			Alpha:        0.5,
+		},
+	}
+	return spec
+}
+
+// stressWorkerCounts always includes a genuinely parallel shape even
+// on a single-core machine (goroutines still interleave, and the race
+// detector still watches them), plus NumCPU per the property's
+// statement.
+func stressWorkerCounts() []int {
+	counts := []int{4}
+	if n := runtime.NumCPU(); n != 4 && n != 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func runStress(t *testing.T, spec farm.Spec, workers int) (*Result, []byte) {
+	t.Helper()
+	prev := farm.SetSimWorkers(workers)
+	defer farm.SetSimWorkers(prev)
+	res, err := RunSpec(spec, 7)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res, mustJSON(t, res)
+}
+
+// Tail-budget at every boundary: per-group threshold writes cross the
+// barrier into the shards' policy objects 80 times per run.
+func TestParallelStressTailBudget(t *testing.T) {
+	spec := stressSpec(KindTailBudget.String(), 50)
+	res, ref := runStress(t, spec, 1)
+	if len(res.Windows) < 60 {
+		t.Fatalf("only %d windows — stress premise (tiny epochs, many boundaries) broken", len(res.Windows))
+	}
+	if len(res.Actions) == 0 {
+		t.Fatal("controller never actuated — stress premise broken")
+	}
+	for _, workers := range stressWorkerCounts() {
+		if _, got := runStress(t, spec, workers); !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d: controlled metrics diverge from sequential\nseq: %s\npar: %s",
+				workers, ref, got)
+		}
+	}
+}
+
+// Rate-respec at every boundary: re-plans rewrite the placement map,
+// migrating files across groups — and therefore across shards, forcing
+// the arrival-chain rescan path under full parallelism.
+func TestParallelStressRateRespec(t *testing.T) {
+	spec := stressSpec(KindRateRespec.String(), 50)
+	res, ref := runStress(t, spec, 1)
+	if res.Metrics.Sim.MigratedFiles == 0 {
+		t.Fatal("rate-respec never migrated — the cross-shard rescan path is unexercised")
+	}
+	for _, workers := range stressWorkerCounts() {
+		if _, got := runStress(t, spec, workers); !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d: controlled metrics diverge from sequential\nseq: %s\npar: %s",
+				workers, ref, got)
+		}
+	}
+}

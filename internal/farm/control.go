@@ -243,7 +243,7 @@ func RunStream(spec Spec, seed int64, epoch float64, sink StreamSink) (*Metrics,
 		farm:   farmSize,
 		seed:   seed,
 	}
-	res, err := storage.RunStream(tr, alloc.Assign, storage.Config{
+	res, err := storage.RunStreamParallel(tr, alloc.Assign, storage.Config{
 		NumDisks:      farmSize,
 		PerDisk:       perDisk,
 		IdleThreshold: threshold,
@@ -265,7 +265,7 @@ func RunStream(spec Spec, seed int64, epoch float64, sink StreamSink) (*Metrics,
 			}
 			return sink(w, act)
 		},
-	})
+	}, storage.ParallelConfig{Workers: SimWorkers(), Label: spec.Name})
 	if err != nil {
 		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)
 	}

@@ -307,14 +307,14 @@ func Run(spec Spec, seed int64) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := storage.Run(tr, alloc.Assign, storage.Config{
+	res, err := storage.RunParallel(tr, alloc.Assign, storage.Config{
 		NumDisks:      farmSize,
 		PerDisk:       perDisk,
 		IdleThreshold: threshold,
 		PolicyFactory: factory,
 		CacheBytes:    spec.CacheBytes,
 		WriteBestFit:  spec.WriteBestFit,
-	})
+	}, storage.ParallelConfig{Workers: SimWorkers(), Label: spec.Name})
 	if err != nil {
 		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)
 	}

@@ -166,6 +166,59 @@ func (s *Sample) Quantile(q float64) float64 {
 // Median returns Quantile(0.5).
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 
+// AppendValues appends the sample's observations to dst and returns
+// the extended slice. The order is unspecified (Quantile sorts the
+// backing array in place); callers that need a canonical order must
+// sort the result. This is the escape hatch parallel reductions use to
+// merge per-shard samples exactly: concatenating shards' values and
+// sorting yields the same multiset — and therefore the same sorted
+// array, bit for bit — regardless of how the observations were split.
+func (s *Sample) AppendValues(dst []float64) []float64 {
+	return append(dst, s.xs...)
+}
+
+// SortedMean returns the mean of xs accumulated in index order. On a
+// sorted slice this is a canonical reduction: any partition of the same
+// observations sorts to the same array, so the fold — unlike a
+// streaming mean, whose floating-point rounding depends on arrival
+// order — is identical no matter how the samples were produced.
+func SortedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SortedQuantile returns the q-quantile of an ascending-sorted slice
+// using exactly Sample.Quantile's interpolation between order
+// statistics, so a merged-then-sorted union of per-shard samples
+// reproduces the single-sample quantile bit for bit. It returns 0 on an
+// empty slice and panics on q outside [0,1].
+func SortedQuantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
 // TimeWeighted integrates a piecewise-constant signal over simulated
 // time: call Set at each change and Finish at the end of the run. The
 // simulator uses it for average queue length and average active-disk

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"encoding/json"
+	"testing"
+
+	"diskpack/internal/disk"
+	"diskpack/internal/trace"
+)
+
+// parallelTrace builds a deterministic multi-group workload designed
+// to stress the identity argument: files striped across a
+// heterogeneous farm, simultaneous arrivals (FIFO tie-breaking must
+// survive sharding), and writes to already-placed files (legal on the
+// parallel path — only unplaced writes block sharding).
+func parallelTrace(nDisks, files, reqs int) (*trace.Trace, []int, Config) {
+	tr := &trace.Trace{Duration: float64(reqs) * 3}
+	for i := 0; i < files; i++ {
+		tr.Files = append(tr.Files, trace.FileInfo{ID: i, Size: int64(5+i%7) * disk.MB, Rate: 0.01})
+	}
+	assign := make([]int, files)
+	for i := range assign {
+		assign[i] = i % nDisks
+	}
+	for r := 0; r < reqs; r++ {
+		// Bursts of three simultaneous arrivals every third slot hit
+		// distinct disks, so ties cross shard boundaries.
+		t := float64(r-r%3) * 3
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   t,
+			FileID: (r * 13) % files,
+			Write:  r%11 == 0,
+		})
+	}
+	perDisk := make([]disk.Params, nDisks)
+	for d := range perDisk {
+		perDisk[d] = disk.DefaultParams()
+		if d%2 == 1 {
+			// An eco half: slower, cheaper drives exercise per-disk
+			// params in the merge accounting.
+			perDisk[d].TransferRate /= 2
+			perDisk[d].IdlePower *= 0.8
+		}
+	}
+	cfg := Config{NumDisks: nDisks, PerDisk: perDisk, IdleThreshold: BreakEven}
+	return tr, assign, cfg
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The tentpole property at the storage layer: Run output is invariant
+// under the worker count, per-disk and to the last bit.
+func TestRunParallelIdentity(t *testing.T) {
+	tr, assign, cfg := parallelTrace(9, 40, 600)
+	ref, err := Run(tr, assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, ref)
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := RunParallel(tr, assign, cfg, ParallelConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if g := marshal(t, got); g != want {
+			t.Errorf("workers=%d: results diverge from sequential run", workers)
+		}
+	}
+}
+
+// Streamed runs must emit identical windows at any worker count — the
+// merged snapshot a controller observes is the correctness surface.
+func TestRunStreamParallelWindowIdentity(t *testing.T) {
+	tr, assign, cfg := parallelTrace(8, 32, 500)
+	groupOf := make([]int, 8)
+	for d := range groupOf {
+		groupOf[d] = d / 2 // 4 groups of 2 disks
+	}
+	collect := func(workers int) ([]*Window, string) {
+		var ws []*Window
+		res, err := RunStreamParallel(tr, assign, cfg, StreamConfig{
+			Epoch:   200,
+			GroupOf: groupOf,
+			OnWindow: func(w *Window, ctl *RunControl) error {
+				ws = append(ws, w.Clone())
+				return nil
+			},
+		}, ParallelConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ws, marshal(t, res)
+	}
+	refW, refR := collect(1)
+	for _, workers := range []int{2, 4} {
+		gotW, gotR := collect(workers)
+		if gotR != refR {
+			t.Errorf("workers=%d: results diverge", workers)
+		}
+		if len(gotW) != len(refW) {
+			t.Fatalf("workers=%d: %d windows, want %d", workers, len(gotW), len(refW))
+		}
+		for i := range refW {
+			if marshal(t, gotW[i]) != marshal(t, refW[i]) {
+				t.Errorf("workers=%d: window %d diverges", workers, i)
+			}
+		}
+	}
+}
+
+// A boundary reallocation that moves files ACROSS shards must re-chain
+// every shard's arrivals and still match the sequential run exactly.
+func TestRunStreamParallelCrossShardRealloc(t *testing.T) {
+	tr, assign, cfg := parallelTrace(8, 32, 500)
+	groupOf := make([]int, 8)
+	for d := range groupOf {
+		groupOf[d] = d / 2
+	}
+	run := func(workers int) string {
+		res, err := RunStreamParallel(tr, assign, cfg, StreamConfig{
+			Epoch:   200,
+			GroupOf: groupOf,
+			OnWindow: func(w *Window, ctl *RunControl) error {
+				if w.Index != 1 {
+					return nil
+				}
+				// Rotate every placed file one disk to the right —
+				// most moves cross the two-disk group (= shard unit)
+				// boundary.
+				next := ctl.Assign()
+				for f, d := range next {
+					if d >= 0 {
+						next[f] = (d + 1) % cfg.NumDisks
+					}
+				}
+				moved, _, err := ctl.Realloc(next)
+				if err != nil {
+					return err
+				}
+				if moved == 0 {
+					t.Error("realloc moved nothing; test is vacuous")
+				}
+				return nil
+			},
+		}, ParallelConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return marshal(t, res)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: results diverge after cross-shard realloc", workers)
+		}
+	}
+}
+
+// ShardBlocker must name the two known couplings and clear clean runs.
+func TestShardBlocker(t *testing.T) {
+	tr, assign, cfg := parallelTrace(4, 8, 50)
+	if got := ShardBlocker(tr, assign, cfg); got != "" {
+		t.Errorf("clean run blocked: %q", got)
+	}
+	cached := cfg
+	cached.CacheBytes = disk.GB
+	if got := ShardBlocker(tr, assign, cached); got == "" {
+		t.Error("cache-fronted run not blocked")
+	}
+	unplaced := append([]int(nil), assign...)
+	unplaced[tr.Requests[0].FileID] = Unplaced
+	wtr := *tr
+	wtr.Requests = append([]trace.Request(nil), tr.Requests...)
+	wtr.Requests[0].Write = true
+	if got := ShardBlocker(&wtr, unplaced, cfg); got == "" {
+		t.Error("unplaced-write run not blocked")
+	}
+}
+
+// Non-shardable runs must route to the sequential path (one shard, no
+// goroutines) rather than being approximated — and still be correct.
+func TestBlockedRunFallsBackSequential(t *testing.T) {
+	tr, assign, cfg := parallelTrace(4, 8, 200)
+	cfg.CacheBytes = disk.GB
+	r, err := newRunner(tr, assign, cfg, nil, ParallelConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.shards) != 1 {
+		t.Fatalf("blocked run built %d shards, want 1", len(r.shards))
+	}
+	if r.shardOf != nil {
+		t.Error("blocked run still carries a shard map")
+	}
+	ref, err := Run(tr, assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunParallel(tr, assign, cfg, ParallelConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, got) != marshal(t, ref) {
+		t.Error("blocked run diverges from sequential")
+	}
+}
+
+// The shard count clamps to the unit count: groups when streaming,
+// disks otherwise — requesting more workers than units must not panic
+// or leave empty shards.
+func TestShardClampAndLayout(t *testing.T) {
+	tr, assign, cfg := parallelTrace(4, 8, 50)
+	r, err := newRunner(tr, assign, cfg, nil, ParallelConfig{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.shards) != 4 {
+		t.Fatalf("classic run with 4 disks built %d shards, want 4", len(r.shards))
+	}
+	sc := &StreamConfig{Epoch: 100, GroupOf: []int{0, 0, 1, 1}}
+	r, err = newRunner(tr, assign, cfg, sc, ParallelConfig{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.shards) != 2 {
+		t.Fatalf("streamed run with 2 groups built %d shards, want 2", len(r.shards))
+	}
+	for s, m := range r.shards {
+		if len(m.disks) == 0 {
+			t.Errorf("shard %d owns no disks", s)
+		}
+		for i := 1; i < len(m.diskID); i++ {
+			if m.diskID[i] <= m.diskID[i-1] {
+				t.Errorf("shard %d disk IDs not ascending: %v", s, m.diskID)
+			}
+		}
+	}
+}

@@ -158,12 +158,9 @@ type Results struct {
 
 // Run simulates the trace against a farm where file f lives on disk
 // assign[f]. It returns an error for malformed inputs; the simulation
-// itself is deterministic. The mechanics live in the machine shared
-// with RunStream (stream.go); Run is the classic un-windowed path.
+// itself is deterministic. The mechanics live in the shard machinery
+// shared with RunStream (stream.go, parallel.go); Run is the classic
+// un-windowed single-shard path.
 func Run(tr *trace.Trace, assign []int, cfg Config) (*Results, error) {
-	m, err := newMachine(tr, assign, cfg, nil)
-	if err != nil {
-		return nil, err
-	}
-	return m.run()
+	return RunParallel(tr, assign, cfg, ParallelConfig{})
 }

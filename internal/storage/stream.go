@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"diskpack/internal/cache"
 	"diskpack/internal/disk"
 	"diskpack/internal/sim"
 	"diskpack/internal/stats"
@@ -21,6 +20,12 @@ import (
 // The observer may actuate between windows through RunControl
 // (mid-run reallocation; spin thresholds actuate through the policy
 // objects the caller owns), which is the decide→actuate half.
+//
+// This file holds the telemetry schema and the per-shard machinery —
+// one machine per shard, each with its own sim.Env, disks, and window
+// accumulator. The runner that owns the shared state (placement map,
+// migration ledger, window assembly) and coordinates shards lives in
+// parallel.go; a sequential run is simply a runner with one shard.
 
 // IdleGapBuckets returns the upper bounds, in seconds, of the idle-gap
 // histogram buckets (the last bucket is unbounded). Log-spaced around
@@ -175,15 +180,17 @@ func (sc *StreamConfig) validate(numDisks int) error {
 
 // RunControl is the actuation surface handed to the window observer.
 // Its methods apply at the window boundary, before any further
-// simulated time passes.
+// simulated time passes — the shards are parked at the boundary while
+// the observer runs, so boundary mutations are seen by every shard
+// exactly from the next window on, sequentially and in parallel alike.
 type RunControl struct {
-	m *machine
+	r *runner
 }
 
 // Assign returns a copy of the live file→disk map (Unplaced for files
 // not yet written).
 func (c *RunControl) Assign() []int {
-	return append([]int(nil), c.m.place...)
+	return append([]int(nil), c.r.place...)
 }
 
 // Realloc replaces the live file→disk map: files whose disk changes
@@ -197,33 +204,37 @@ func (c *RunControl) Assign() []int {
 // already queued on the old disks finish there; arrivals from the
 // boundary on follow the new map.
 func (c *RunControl) Realloc(assign []int) (moved int, movedBytes int64, err error) {
-	m := c.m
-	if len(assign) != len(m.place) {
-		return 0, 0, fmt.Errorf("storage: realloc covers %d files, trace has %d", len(assign), len(m.place))
+	r := c.r
+	if len(assign) != len(r.place) {
+		return 0, 0, fmt.Errorf("storage: realloc covers %d files, trace has %d", len(assign), len(r.place))
 	}
-	free := make([]int64, m.cfg.NumDisks)
+	free := make([]int64, r.cfg.NumDisks)
 	for d := range free {
-		free[d] = m.cfg.paramsFor(d).CapacityBytes
+		free[d] = r.cfg.paramsFor(d).CapacityBytes
 	}
 	var energy float64
+	crossShard := false
 	for f, d := range assign {
-		old := m.place[f]
+		old := r.place[f]
 		switch {
 		case old < 0 && d != Unplaced:
 			return 0, 0, fmt.Errorf("storage: realloc places unwritten file %d (write policy owns it)", f)
-		case old >= 0 && (d < 0 || d >= m.cfg.NumDisks):
-			return 0, 0, fmt.Errorf("storage: realloc sends file %d to disk %d outside farm of %d", f, d, m.cfg.NumDisks)
+		case old >= 0 && (d < 0 || d >= r.cfg.NumDisks):
+			return 0, 0, fmt.Errorf("storage: realloc sends file %d to disk %d outside farm of %d", f, d, r.cfg.NumDisks)
 		}
 		if d >= 0 {
-			free[d] -= m.tr.Files[f].Size
+			free[d] -= r.tr.Files[f].Size
 		}
 		if old >= 0 && d != old {
-			size := m.tr.Files[f].Size
+			size := r.tr.Files[f].Size
 			moved++
 			movedBytes += size
-			src, dst := m.cfg.paramsFor(old), m.cfg.paramsFor(d)
+			src, dst := r.cfg.paramsFor(old), r.cfg.paramsFor(d)
 			energy += float64(size)/src.TransferRate*src.ActivePower +
 				float64(size)/dst.TransferRate*dst.ActivePower
+			if r.shardOf != nil && r.shardOf[old] != r.shardOf[d] {
+				crossShard = true
+			}
 		}
 	}
 	for d, b := range free {
@@ -231,11 +242,17 @@ func (c *RunControl) Realloc(assign []int) (moved int, movedBytes int64, err err
 			return 0, 0, fmt.Errorf("storage: realloc overfills disk %d by %d bytes", d, -b)
 		}
 	}
-	copy(m.place, assign)
-	copy(m.freeBytes, free)
-	m.migrationEnergy += energy
-	m.migratedFiles += int64(moved)
-	m.migratedBytes += movedBytes
+	copy(r.place, assign)
+	copy(r.freeBytes, free)
+	r.migrationEnergy += energy
+	r.migratedFiles += int64(moved)
+	r.migratedBytes += movedBytes
+	// A file that crossed a shard boundary changes which shard's
+	// arrival chain owns its future requests; the runner rescans every
+	// chain before releasing the shards into the next window.
+	if crossShard {
+		r.needRescan = true
+	}
 	return moved, movedBytes, nil
 }
 
@@ -265,77 +282,53 @@ func (g *gapRecorder) ObserveIdle(gap float64) {
 	g.inner.ObserveIdle(gap)
 }
 
-// winAccum accumulates one window's per-group activity and remembers
-// the cumulative counters at the previous boundary so snapshot can
-// report deltas.
+// winAccum accumulates one shard's share of a window — per-group
+// activity for the groups the shard owns — and remembers the
+// cumulative per-disk counters at the previous boundary so fillRows
+// can report deltas. Group-indexed slices span every farm group (group
+// indices are global); only the owned groups' entries ever fill, and
+// the runner reads exactly those when assembling the merged Window.
 type winAccum struct {
-	groupOf []int
-	disksIn []int // disks per group
+	groupOf []int // global disk → group (shared, read-only; nil = all group 0)
 	// Per-group accumulators, reset (capacity kept) every window. The
-	// farm-wide histogram and arrival totals are derived by summing
-	// groups at snapshot time; only respTotal runs in the hot path,
-	// because exact farm-wide quantiles cannot be recovered from
-	// per-group samples.
-	resp      []stats.Sample
-	respTotal stats.Sample
-	arrivals  []int64
-	gaps      [][]int64
-	rhist     [][]int64
-	// bufs double-buffers the emitted snapshots: the window under
-	// construction reuses the storage of the window before last, so an
-	// observer can read (or hand off) the previous snapshot while the
-	// current one fills without any per-epoch slice allocation.
-	bufs [2]Window
-
-	prevEnergy    []float64
-	prevUps       []int
-	prevDowns     []int
-	prevStandby   []float64
-	prevHits      int64
-	prevMisses    int64
-	prevMigEnergy float64
-	prevMigFiles  int64
-	prevMigBytes  int64
-	index         int
+	// farm-wide histogram and arrival totals are derived by the runner
+	// summing groups at assembly time; farm-wide quantiles come from
+	// concatenating and sorting the per-group samples, which
+	// reproduces a single farm-wide sample bit for bit.
+	resp     []stats.Sample
+	arrivals []int64
+	gaps     [][]int64
+	rhist    [][]int64
+	// rows holds the shard's filled per-group snapshot rows. The
+	// runner copies owned rows into its double-buffered Window, so a
+	// single buffer per shard suffices.
+	rows []GroupWindow
+	// Previous-boundary counters, indexed by the shard's local disk
+	// index (not the global disk ID).
+	prevEnergy  []float64
+	prevUps     []int
+	prevDowns   []int
+	prevStandby []float64
 }
 
-func newWinAccum(groupOf []int, numDisks int) *winAccum {
-	ng := 1
-	for _, g := range groupOf {
-		if g+1 > ng {
-			ng = g + 1
-		}
-	}
+func newWinAccum(groupOf []int, ngroups, localDisks int) *winAccum {
 	a := &winAccum{
 		groupOf:     groupOf,
-		disksIn:     make([]int, ng),
-		resp:        make([]stats.Sample, ng),
-		arrivals:    make([]int64, ng),
-		gaps:        make([][]int64, ng),
-		rhist:       make([][]int64, ng),
-		prevEnergy:  make([]float64, numDisks),
-		prevUps:     make([]int, numDisks),
-		prevDowns:   make([]int, numDisks),
-		prevStandby: make([]float64, numDisks),
+		resp:        make([]stats.Sample, ngroups),
+		arrivals:    make([]int64, ngroups),
+		gaps:        make([][]int64, ngroups),
+		rhist:       make([][]int64, ngroups),
+		rows:        make([]GroupWindow, ngroups),
+		prevEnergy:  make([]float64, localDisks),
+		prevUps:     make([]int, localDisks),
+		prevDowns:   make([]int, localDisks),
+		prevStandby: make([]float64, localDisks),
 	}
 	for g := range a.gaps {
 		a.gaps[g] = make([]int64, len(idleGapBounds)+1)
 		a.rhist[g] = make([]int64, len(respBounds)+1)
-	}
-	for _, g := range groupOf {
-		a.disksIn[g]++
-	}
-	if len(groupOf) == 0 {
-		a.disksIn[0] = numDisks
-	}
-	for i := range a.bufs {
-		a.bufs[i].Groups = make([]GroupWindow, ng)
-		for g := range a.bufs[i].Groups {
-			a.bufs[i].Groups[g].IdleGaps = make([]int64, len(idleGapBounds)+1)
-			a.bufs[i].Groups[g].RespHist = make([]int64, len(respBounds)+1)
-		}
-		a.bufs[i].Total.IdleGaps = make([]int64, len(idleGapBounds)+1)
-		a.bufs[i].Total.RespHist = make([]int64, len(respBounds)+1)
+		a.rows[g].IdleGaps = make([]int64, len(idleGapBounds)+1)
+		a.rows[g].RespHist = make([]int64, len(respBounds)+1)
 	}
 	return a
 }
@@ -347,88 +340,58 @@ func (a *winAccum) group(d int) int {
 	return a.groupOf[d]
 }
 
-// snapshot closes the window [start, end], filling the next snapshot
-// buffer and advancing the previous-boundary counters. The returned
-// Window reuses double-buffered storage: it stays valid until the
-// next-but-one snapshot, and retaining observers must Clone it.
-func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window {
-	w := &a.bufs[a.index&1]
-	w.Index = a.index
-	w.Start, w.End, w.Final = start, end, final
-	a.index++
-	fill := func(gw *GroupWindow, group, disks int, s *stats.Sample, arrivals int64) {
-		// Keep the buffer's slices across the struct reset.
-		gaps, rhist := gw.IdleGaps, gw.RespHist
-		*gw = GroupWindow{
-			Group:     group,
-			Disks:     disks,
-			Arrivals:  arrivals,
+// fillRows closes the window ending at end for this shard: each owned
+// group's row is computed from the window accumulators and the
+// per-disk counter deltas. Accumulators are NOT reset here — the
+// runner still needs the raw response samples for the farm-wide
+// quantile merge — reset() runs after assembly. Groups the shard does
+// not own produce all-zero rows the runner never reads.
+func (a *winAccum) fillRows(m *machine, end float64) {
+	for g := range a.rows {
+		row := &a.rows[g]
+		gaps, rhist := row.IdleGaps, row.RespHist
+		s := &a.resp[g]
+		*row = GroupWindow{
+			Group:     g,
+			Arrivals:  a.arrivals[g],
 			Completed: s.Count(),
 			IdleGaps:  gaps,
 			RespHist:  rhist,
 		}
 		if s.Count() > 0 {
-			gw.RespMean = s.Mean()
-			gw.RespP50 = s.Quantile(0.5)
-			gw.RespP95 = s.Quantile(0.95)
-			gw.RespP99 = s.Quantile(0.99)
-			gw.RespMax = s.Max()
+			row.RespMean = s.Mean()
+			row.RespP50 = s.Quantile(0.5)
+			row.RespP95 = s.Quantile(0.95)
+			row.RespP99 = s.Quantile(0.99)
+			row.RespMax = s.Max()
 		}
+		copy(gaps, a.gaps[g])
+		copy(rhist, a.rhist[g])
 	}
-	var arrTotal int64
-	for g := range w.Groups {
-		fill(&w.Groups[g], g, a.disksIn[g], &a.resp[g], a.arrivals[g])
-		copy(w.Groups[g].IdleGaps, a.gaps[g])
-		copy(w.Groups[g].RespHist, a.rhist[g])
-		arrTotal += a.arrivals[g]
-	}
-	fill(&w.Total, -1, m.cfg.NumDisks, &a.respTotal, arrTotal)
-	// Farm-wide histograms are the sum over groups, computed once here
-	// rather than double-counted on every hot-path increment.
-	for b := range w.Total.IdleGaps {
-		w.Total.IdleGaps[b] = 0
-	}
-	for b := range w.Total.RespHist {
-		w.Total.RespHist[b] = 0
-	}
-	for g := range a.gaps {
-		for b, v := range a.gaps[g] {
-			w.Total.IdleGaps[b] += v
-		}
-		for b, v := range a.rhist[g] {
-			w.Total.RespHist[b] += v
-		}
-	}
-	for d, dk := range m.disks {
-		g := a.group(d)
+	// Per-disk counter deltas accumulate into the owning group's row in
+	// ascending global disk order (local order preserves it), exactly
+	// the order the sequential accumulator used.
+	for ld, dk := range m.disks {
+		g := a.group(m.diskID[ld])
+		row := &a.rows[g]
 		e := dk.EnergyAt(end)
 		ups, downs := dk.SpinUps(), dk.SpinDowns()
 		standby := dk.StateDurationAt(disk.Standby, end)
-		w.Groups[g].Energy += e - a.prevEnergy[d]
-		w.Groups[g].SpinUps += ups - a.prevUps[d]
-		w.Groups[g].SpinDowns += downs - a.prevDowns[d]
-		w.Groups[g].StandbyTime += standby - a.prevStandby[d]
-		w.Total.Energy += e - a.prevEnergy[d]
-		w.Total.SpinUps += ups - a.prevUps[d]
-		w.Total.SpinDowns += downs - a.prevDowns[d]
-		w.Total.StandbyTime += standby - a.prevStandby[d]
-		a.prevEnergy[d] = e
-		a.prevUps[d] = ups
-		a.prevDowns[d] = downs
-		a.prevStandby[d] = standby
+		row.Energy += e - a.prevEnergy[ld]
+		row.SpinUps += ups - a.prevUps[ld]
+		row.SpinDowns += downs - a.prevDowns[ld]
+		row.StandbyTime += standby - a.prevStandby[ld]
+		a.prevEnergy[ld] = e
+		a.prevUps[ld] = ups
+		a.prevDowns[ld] = downs
+		a.prevStandby[ld] = standby
 	}
-	w.CacheHits, w.CacheMisses = 0, 0
-	if m.lru != nil {
-		s := m.lru.Stats()
-		w.CacheHits, w.CacheMisses = s.Hits-a.prevHits, s.Misses-a.prevMisses
-		a.prevHits, a.prevMisses = s.Hits, s.Misses
-	}
-	w.MigrationEnergy = m.migrationEnergy - a.prevMigEnergy
-	w.MigratedFiles = m.migratedFiles - a.prevMigFiles
-	w.MigratedBytes = m.migratedBytes - a.prevMigBytes
-	a.prevMigEnergy, a.prevMigFiles, a.prevMigBytes = m.migrationEnergy, m.migratedFiles, m.migratedBytes
-	// Reset the per-window accumulators for the next window, keeping
-	// their backing storage.
+}
+
+// reset clears the per-window accumulators for the next window,
+// keeping their backing storage. Called by the runner after it has
+// consumed the rows and response samples.
+func (a *winAccum) reset() {
 	for g := range a.resp {
 		a.resp[g].Reset()
 		a.arrivals[g] = 0
@@ -439,32 +402,31 @@ func (a *winAccum) snapshot(m *machine, start, end float64, final bool) *Window 
 			a.rhist[g][b] = 0
 		}
 	}
-	a.respTotal.Reset()
-	return w
 }
 
-// machine is one simulation run's state: configuration, entities, and
-// counters. Both Run and RunStream drive it; the stream fields stay nil
-// on the classic path.
+// machine is one shard of a simulation run: a private event queue, the
+// shard's disks (a subset of the farm in ascending global disk order),
+// its slice of the arrival chain, and its share of the counters. A
+// sequential run is a single machine owning every disk. Shards share
+// no mutable state mid-window — the runner owns the placement map and
+// the migration ledger, both written only at window boundaries while
+// every shard is parked.
 type machine struct {
-	cfg     Config
-	tr      *trace.Trace
-	env     *sim.Env
-	nextReq int    // index of the next trace request to dispatch (chained arrivals)
-	arrSeq  uint64 // FIFO position reserved for request 0 (request i gets arrSeq+i)
+	run *runner
+	id  int
+	env *sim.Env
 
-	disks     []*disk.Disk
-	lru       *cache.LRU
-	place     []int
-	freeBytes []int64
+	disks  []*disk.Disk // shard-local, ascending global disk ID
+	diskID []int        // local index → global disk ID
+
+	pending  int       // trace index of the scheduled (unfired) arrival; len(Requests) = exhausted
+	arrEvent sim.Event // handle on the pending arrival, for boundary rescans
+	arrSeq   uint64    // FIFO position reserved for request 0 (request i gets arrSeq+i)
 
 	resp                                                      stats.Sample
 	completed, writesPlaced, writesToSpinning, writesRejected int64
 	readsUnplaced                                             int64
-	migrationEnergy                                           float64
-	migratedFiles, migratedBytes                              int64
 
-	sc  *StreamConfig
 	acc *winAccum
 
 	// Request pool: per-request state is recycled through a free list
@@ -495,97 +457,65 @@ func (m *machine) allocReq() *disk.Request {
 	return r
 }
 
-// nextArrivalCB dispatches the next trace request and schedules the one
-// after it. Arrivals are chained — exactly one arrival event is pending
-// at any instant — so the event queue holds only the simulation's
-// working set (services, timers, one arrival) instead of the whole
-// trace horizon. That keeps the calendar queue's epoch span near-term
-// (idle timers stay rung-resident with O(1) cancel) and the node pool
-// proportional to concurrency, not trace length. Validate() guarantees
-// the request stream is time-sorted, which is what makes the chain
-// legal; the FIFO positions reserved at construction (arrSeq) make it
-// invisible — every arrival keeps the tie-breaking rank it would have
-// had scheduled upfront, so runs are byte-identical to the eager
-// scheme.
-func nextArrivalCB(a any) {
-	m := a.(*machine)
-	r := m.tr.Requests[m.nextReq]
-	m.nextReq++
-	if m.nextReq < len(m.tr.Requests) {
-		m.env.AtArgSeq(m.tr.Requests[m.nextReq].Time, nextArrivalCB, m,
-			m.arrSeq+uint64(m.nextReq))
+// localDisk resolves a global disk ID to the shard's disk object.
+func (m *machine) localDisk(d int) *disk.Disk {
+	if m.run.localOf == nil {
+		return m.disks[d]
 	}
-	m.onRequest(r)
+	return m.disks[m.run.localOf[d]]
 }
 
-// newMachine validates inputs and assembles the run (disks, cache,
-// placement tables, scheduled requests) without advancing the clock.
-func newMachine(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig) (*machine, error) {
-	cfg, err := cfg.normalized()
-	if err != nil {
-		return nil, err
+// owns reports whether this shard's arrival chain dispatches requests
+// for file f under the current placement map. Unplaced files fall to
+// shard 0 (they only occur sequentially — the partitioner routes
+// traces with unplaced writes to a single shard — or as unplaced-read
+// accounting, which any single owner may count).
+func (m *machine) owns(f int) bool {
+	so := m.run.shardOf
+	if so == nil {
+		return true
 	}
-	if len(assign) != len(tr.Files) {
-		return nil, fmt.Errorf("storage: assignment covers %d files, trace has %d", len(assign), len(tr.Files))
+	d := m.run.place[f]
+	if d < 0 {
+		return m.id == 0
 	}
-	for f, d := range assign {
-		if (d < 0 && d != Unplaced) || d >= cfg.NumDisks {
-			return nil, fmt.Errorf("storage: file %d assigned to disk %d outside farm of %d", f, d, cfg.NumDisks)
-		}
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	if sc != nil {
-		if err := sc.validate(cfg.NumDisks); err != nil {
-			return nil, err
-		}
-	}
+	return so[d] == int32(m.id)
+}
 
-	m := &machine{cfg: cfg, tr: tr, env: sim.NewEnv(), sc: sc}
-	if sc != nil {
-		m.acc = newWinAccum(sc.GroupOf, cfg.NumDisks)
-	}
-	m.disks = make([]*disk.Disk, cfg.NumDisks)
-	for i := range m.disks {
-		p := cfg.paramsFor(i)
-		var pol disk.SpinPolicy
-		switch {
-		case cfg.PolicyFactory != nil:
-			pol = cfg.PolicyFactory(i)
-		case cfg.IdleThreshold == BreakEven:
-			pol = fixedTimeout(p.BreakEvenThreshold())
-		default:
-			pol = fixedTimeout(cfg.IdleThreshold)
+// scheduleFrom scans the trace from index idx for the next request this
+// shard owns and schedules its arrival at the FIFO position reserved
+// for that index — so however the trace is split across shards, every
+// arrival keeps the tie-breaking rank it has in the sequential run.
+func (m *machine) scheduleFrom(idx int) {
+	reqs := m.run.tr.Requests
+	for ; idx < len(reqs); idx++ {
+		if m.owns(reqs[idx].FileID) {
+			m.pending = idx
+			m.arrEvent = m.env.AtArgSeq(reqs[idx].Time, nextArrivalCB, m, m.arrSeq+uint64(idx))
+			return
 		}
-		if m.acc != nil {
-			pol = &gapRecorder{inner: pol, acc: m.acc, group: m.acc.group(i)}
-		}
-		m.disks[i] = disk.NewWithPolicy(m.env, i, p, pol)
 	}
-	if cfg.CacheBytes > 0 {
-		m.lru = cache.NewLRU(cfg.CacheBytes)
-	}
+	m.pending = len(reqs)
+	m.arrEvent = sim.Event{}
+}
 
-	// place is the dynamic file→disk map: the write policy fills in
-	// Unplaced entries at write time; freeBytes tracks remaining raw
-	// capacity per disk.
-	m.place = append([]int(nil), assign...)
-	m.freeBytes = make([]int64, cfg.NumDisks)
-	for d := range m.freeBytes {
-		m.freeBytes[d] = cfg.paramsFor(d).CapacityBytes
-	}
-	for f, d := range m.place {
-		if d >= 0 {
-			m.freeBytes[d] -= tr.Files[f].Size
-		}
-	}
-	m.doneFn = m.onDone
-	if len(tr.Requests) > 0 {
-		m.arrSeq = m.env.ReserveSeqs(len(tr.Requests))
-		m.env.AtArgSeq(tr.Requests[0].Time, nextArrivalCB, m, m.arrSeq)
-	}
-	return m, nil
+// nextArrivalCB dispatches the shard's pending trace request and
+// schedules the one after it. Arrivals are chained — exactly one
+// arrival event is pending per shard at any instant — so the event
+// queue holds only the simulation's working set (services, timers, one
+// arrival) instead of the whole trace horizon. That keeps the calendar
+// queue's epoch span near-term (idle timers stay rung-resident with
+// O(1) cancel) and the node pool proportional to concurrency, not
+// trace length. Validate() guarantees the request stream is
+// time-sorted, which is what makes the chain legal; the FIFO positions
+// reserved at construction (arrSeq) make it invisible — every arrival
+// keeps the tie-breaking rank it would have had scheduled upfront, so
+// runs are byte-identical to the eager scheme.
+func nextArrivalCB(a any) {
+	m := a.(*machine)
+	r := m.run.tr.Requests[m.pending]
+	m.scheduleFrom(m.pending + 1)
+	m.onRequest(r)
 }
 
 // spinning reports whether the disk can absorb a write without a
@@ -600,18 +530,20 @@ func (m *machine) spinning(d *disk.Disk) bool {
 
 // chooseWriteDisk implements the Section 1 policy: prefer an
 // already-spinning disk with space (first-fit, or best-fit with
-// WriteBestFit), falling back to any disk with space.
+// WriteBestFit), falling back to any disk with space. Placement scans
+// the whole farm, which is why traces with unplaced writes run on a
+// single shard (see ShardBlocker) — here that shard owns every disk.
 func (m *machine) chooseWriteDisk(size int64) int {
 	for _, spinOnly := range []bool{true, false} {
 		best := -1
-		for d := 0; d < m.cfg.NumDisks; d++ {
-			if m.freeBytes[d] < size || (spinOnly && !m.spinning(m.disks[d])) {
+		for d := 0; d < m.run.cfg.NumDisks; d++ {
+			if m.run.freeBytes[d] < size || (spinOnly && !m.spinning(m.localDisk(d))) {
 				continue
 			}
-			if !m.cfg.WriteBestFit {
+			if !m.run.cfg.WriteBestFit {
 				return d
 			}
-			if best == -1 || m.freeBytes[d] < m.freeBytes[best] {
+			if best == -1 || m.run.freeBytes[d] < m.run.freeBytes[best] {
 				best = d
 			}
 		}
@@ -639,39 +571,38 @@ func (m *machine) noteComplete(d int, rt float64) {
 	}
 	g := m.acc.group(d)
 	m.acc.resp[g].Add(rt)
-	m.acc.respTotal.Add(rt) // farm-wide quantiles need every sample
 	m.acc.rhist[g][respBucket(rt)]++
 }
 
 // onRequest dispatches one trace request at its arrival instant.
 func (m *machine) onRequest(r trace.Request) {
-	size := m.tr.Files[r.FileID].Size
+	size := m.run.tr.Files[r.FileID].Size
 	if r.Write {
-		d := m.place[r.FileID]
+		d := m.run.place[r.FileID]
 		if d < 0 {
 			d = m.chooseWriteDisk(size)
 			if d < 0 {
 				m.writesRejected++
 				return
 			}
-			if m.spinning(m.disks[d]) {
+			if m.spinning(m.localDisk(d)) {
 				m.writesToSpinning++
 			}
-			m.place[r.FileID] = d
-			m.freeBytes[d] -= size
+			m.run.place[r.FileID] = d
+			m.run.freeBytes[d] -= size
 			m.writesPlaced++
 		}
 		m.noteArrival(d)
 		m.submit(d, r.FileID, size)
 		return
 	}
-	d := m.place[r.FileID]
+	d := m.run.place[r.FileID]
 	if d < 0 {
 		m.readsUnplaced++
 		return
 	}
 	m.noteArrival(d)
-	if m.lru != nil && m.lru.Get(r.FileID, size) {
+	if m.run.lru != nil && m.run.lru.Get(r.FileID, size) {
 		// Cache hit: served without disk involvement; the paper counts
 		// these as (near-)zero response time.
 		m.resp.Add(0)
@@ -692,7 +623,7 @@ func (m *machine) submit(d int, fileID int, size int64) {
 		Done:    m.doneFn,
 		Tag:     d,
 	}
-	m.disks[d].Submit(req)
+	m.localDisk(d).Submit(req)
 }
 
 // onDone is the completion callback shared by every pooled request; it
@@ -701,102 +632,43 @@ func (m *machine) onDone(req *disk.Request, doneAt sim.Time) {
 	rt := doneAt - req.Arrival
 	m.resp.Add(rt)
 	m.completed++
-	if m.lru != nil {
-		m.lru.Put(req.FileID, req.Size)
+	if m.run.lru != nil {
+		m.run.lru.Put(req.FileID, req.Size)
 	}
 	m.noteComplete(req.Tag, rt)
 	m.reqFree = append(m.reqFree, req)
 }
 
-// horizon returns the accounting horizon: the trace duration, extended
-// to the last arrival if the trace under-declares it.
-func (m *machine) horizon() float64 {
-	h := m.tr.Duration
-	if n := len(m.tr.Requests); n > 0 {
-		h = math.Max(h, m.tr.Requests[n-1].Time)
-	}
-	return h
+// shardStep is one barrier command: advance to end, optionally close
+// the window accumulators there, optionally finalize the disks.
+type shardStep struct {
+	end      sim.Time
+	snap     bool
+	finalize bool
 }
 
-// run advances the simulation to the horizon — in one stretch on the
-// classic path, window by window when streaming — and assembles the
-// results.
-func (m *machine) run() (*Results, error) {
-	horizon := m.horizon()
-	if m.sc == nil {
-		m.env.RunUntil(horizon)
-	} else {
-		err := m.env.RunWindows(m.sc.Epoch, horizon, func(start, end sim.Time, final bool) error {
-			w := m.acc.snapshot(m, start, end, final)
-			if m.sc.OnWindow == nil {
-				return nil
-			}
-			return m.sc.OnWindow(w, &RunControl{m})
-		})
-		if err != nil {
-			return nil, err
+// advance executes one step on the shard — the unit of work between
+// two barriers. Called inline for single-shard runs and from the
+// worker goroutine otherwise.
+func (m *machine) advance(st shardStep) {
+	m.env.RunUntil(st.end)
+	if st.snap {
+		m.acc.fillRows(m, st.end)
+	}
+	if st.finalize {
+		for _, dk := range m.disks {
+			dk.Finalize()
 		}
 	}
+}
 
-	res := &Results{
-		Duration:         horizon,
-		Completed:        m.completed,
-		PerDisk:          make([]disk.Breakdown, m.cfg.NumDisks),
-		WritesPlaced:     m.writesPlaced,
-		WritesToSpinning: m.writesToSpinning,
-		WritesRejected:   m.writesRejected,
-		ReadsUnplaced:    m.readsUnplaced,
-		MigrationEnergy:  m.migrationEnergy,
-		MigratedFiles:    m.migratedFiles,
-		MigratedBytes:    m.migratedBytes,
+// serve is the worker-goroutine loop: execute steps until the command
+// channel closes, acknowledging each on done.
+func (m *machine) serve(cmds <-chan shardStep, done chan<- int) {
+	for st := range cmds {
+		m.advance(st)
+		done <- m.id
 	}
-	res.Unfinished = int64(len(m.tr.Requests)) - m.completed - m.writesRejected - m.readsUnplaced
-	var standbyTime float64
-	for i, d := range m.disks {
-		d.Finalize()
-		b := d.Breakdown()
-		res.PerDisk[i] = b
-		res.Energy += b.Energy
-		res.SpinUps += b.SpinUps
-		res.SpinDowns += b.SpinDowns
-		standbyTime += b.Durations[disk.Standby]
-		if q := d.PeakQueueLen(); q > res.PeakQueue {
-			res.PeakQueue = q
-		}
-		// No-saving baseline: this disk would have idled at idle
-		// power whenever it was not seeking/transferring; seek and
-		// transfer time are workload-determined and identical under
-		// either policy.
-		seek := b.Durations[disk.Seeking]
-		xfer := b.Durations[disk.Transferring]
-		p := m.cfg.paramsFor(i)
-		res.NoSavingEnergy += p.IdlePower*(horizon-seek-xfer) +
-			p.SeekPower*seek + p.ActivePower*xfer
-	}
-	// Migration rides on top of the disks' own accounting: the policy
-	// caused it, so it is charged to Energy but not to the no-saving
-	// baseline (which never migrates).
-	res.Energy += m.migrationEnergy
-	if horizon > 0 {
-		res.AvgPower = res.Energy / horizon
-		res.AvgStandbyDisks = standbyTime / horizon
-	}
-	if res.NoSavingEnergy > 0 {
-		res.PowerSavingRatio = 1 - res.Energy/res.NoSavingEnergy
-	}
-	if m.resp.Count() > 0 {
-		res.RespMean = m.resp.Mean()
-		res.RespMedian = m.resp.Median()
-		res.RespP95 = m.resp.Quantile(0.95)
-		res.RespP99 = m.resp.Quantile(0.99)
-		res.RespMax = m.resp.Max()
-	}
-	if m.lru != nil {
-		s := m.lru.Stats()
-		res.CacheHits, res.CacheMisses = s.Hits, s.Misses
-		res.CacheHitRatio = m.lru.HitRatio()
-	}
-	return res, nil
 }
 
 // RunStream simulates the trace like Run while emitting a telemetry
@@ -806,9 +678,5 @@ func (m *machine) run() (*Results, error) {
 // Observers actuate through the RunControl handle and through whatever
 // policy objects the caller installed via Config.PolicyFactory.
 func RunStream(tr *trace.Trace, assign []int, cfg Config, sc StreamConfig) (*Results, error) {
-	m, err := newMachine(tr, assign, cfg, &sc)
-	if err != nil {
-		return nil, err
-	}
-	return m.run()
+	return RunStreamParallel(tr, assign, cfg, sc, ParallelConfig{})
 }
