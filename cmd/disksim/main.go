@@ -20,6 +20,17 @@
 //	disksim -scenario paper-synth -sweep threshold=30,300 -sweep farm=20,40 -select pareto
 //	disksim -trace synth.trace -sweep L=0.5,0.6,0.7,0.8 -select knee
 //
+// The reliability axis rides the same machinery: failure-injection
+// scenarios run like any other, -afr-budget upgrades an SLO selector
+// to min-energy-under-SLO-and-AFR, and -cycle-cap bounds spin-down
+// cycles per disk-day (open-loop, or as the tail-budget controller's
+// cycle budget):
+//
+//	disksim -scenario failure-injection -seed 7
+//	disksim -scenario reliability-sweep -afr-budget 0.05
+//	disksim -scenario bursty -cycle-cap 2
+//	disksim -scenario bursty -sweep threshold=30,600 -select slo=30,afr=0.1
+//
 // Scenario files round-trip the same specs as JSON, so grids run
 // without recompiling:
 //
@@ -53,6 +64,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"net"
 	"os"
 	"os/signal"
@@ -94,7 +106,7 @@ const gridUsage = `sweep axes (repeatable, -sweep dim=v1,v2,...):
   alloc      allocation strategy: pack, packv, random, firstfit, ffd, bestfit, chp
   seed       seed offset for independent replications
   control    online controller: tail-budget, rate-respec, static (base needs -control or a controlled scenario)
-selectors (-select): none, knee, pareto, slo=SECONDS`
+selectors (-select): none, knee, pareto, slo=SECONDS[,afr=RATE]`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -140,6 +152,8 @@ func run(args []string, out io.Writer) error {
 		controlName = fs.String("control", "", "run closed-loop under an online controller: tail-budget, rate-respec, or static to strip a scenario's controller")
 		epochF      = fs.Float64("epoch", 0, "telemetry window length in seconds for -control (default: the scenario's, or 1800)")
 		budgetF     = fs.Float64("budget", 0, "p95 response-time budget in seconds for -control tail-budget (default: the scenario's, or 20)")
+		afrBudget   = fs.Float64("afr-budget", 0, "annual-failure-rate budget in (0,1): upgrades an slo= selector to min-energy-under-SLO-and-AFR")
+		cycleCap    = fs.Float64("cycle-cap", 0, "spin-down cycles per disk-day: caps the base spin policy (with -control tail-budget, the controller's cycle budget)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write a heap profile to FILE at exit (go tool pprof)")
 		verbose     = fs.Bool("v", false, "per-disk breakdown")
@@ -321,10 +335,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	controlFlags := *controlName != "" || wasSet("epoch") || wasSet("budget")
+	relFlags := wasSet("afr-budget") || wasSet("cycle-cap")
+	if wasSet("afr-budget") && !(*afrBudget > 0 && *afrBudget < 1) {
+		return fmt.Errorf("-afr-budget %v: the annual failure rate budget must be in (0,1)", *afrBudget)
+	}
+	if wasSet("cycle-cap") && !(*cycleCap > 0 && !math.IsInf(*cycleCap, 0)) {
+		return fmt.Errorf("-cycle-cap %v: the cycle budget must be a positive number of cycles per disk-day", *cycleCap)
+	}
 
 	if *specIn != "" {
-		if len(axes) > 0 || *selectS != "" || *specOut != "" || controlFlags {
-			return fmt.Errorf("-sweep/-select/-spec-out/-control cannot be combined with -spec (edit the file instead)")
+		if len(axes) > 0 || *selectS != "" || *specOut != "" || controlFlags || relFlags {
+			return fmt.Errorf("-sweep/-select/-spec-out/-control/-afr-budget/-cycle-cap cannot be combined with -spec (edit the file instead)")
 		}
 		f, err := os.Open(*specIn)
 		if err != nil {
@@ -373,11 +394,14 @@ func run(args []string, out io.Writer) error {
 			if controlFlags {
 				return fmt.Errorf("-control cannot override scenario %s: its grid fixes each point's policy", sc.Name)
 			}
+			if wasSet("cycle-cap") {
+				return fmt.Errorf("-cycle-cap cannot override scenario %s: its grid fixes each point's policy (use -afr-budget to retarget the selector)", sc.Name)
+			}
 			gridBase = sc.Grid
 			base = sc.Grid.Base
 			break
 		}
-		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 && *serveAddr == "" && !controlFlags {
+		if len(axes) == 0 && *selectS == "" && *specOut == "" && *shards == 0 && *serveAddr == "" && !controlFlags && !relFlags {
 			if sc.Spec.Control != nil {
 				// Controlled scenarios run through the control plane so
 				// the report carries the telemetry windows.
@@ -484,6 +508,49 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Fold -cycle-cap into the base: under a tail-budget controller it
+	// becomes the controller's cycle budget (the knob stays tunable);
+	// open-loop it rewrites a threshold-family spin policy to the
+	// cycle-capped kind, keeping a fixed threshold as the initial value.
+	if wasSet("cycle-cap") {
+		switch {
+		case base.Control != nil:
+			// Copy-on-write: a controlled scenario's ControlSpec is shared
+			// with the registry.
+			cs := *base.Control
+			cs.CycleBudget = *cycleCap
+			base.Control = &cs
+		case base.Spin.Kind == farm.SpinBreakEven:
+			base.Spin = farm.CycleCapSpin(0, *cycleCap)
+		case base.Spin.Kind == farm.SpinFixed:
+			base.Spin = farm.CycleCapSpin(base.Spin.Threshold, *cycleCap)
+		case base.Spin.Kind == farm.SpinCycleBudget:
+			base.Spin.CycleBudget = *cycleCap
+		default:
+			return fmt.Errorf("-cycle-cap needs a threshold-family spin policy, not %v", base.Spin.Kind)
+		}
+	}
+
+	// Fold -afr-budget into the selector: an SLO rule — from -select,
+	// the scenario's sweep, or a grid scenario — upgrades to the
+	// SLO-and-AFR kind at the given budget.
+	selOverride := *selectS != ""
+	if wasSet("afr-budget") {
+		target := selector
+		if !selOverride && gridBase != nil {
+			target = gridBase.Select
+		}
+		switch target.Kind {
+		case farm.SelectMinEnergySLO, farm.SelectMinEnergySLOAFR:
+			target.Kind = farm.SelectMinEnergySLOAFR
+			target.MaxAFR = *afrBudget
+		default:
+			return fmt.Errorf("-afr-budget needs an SLO selector: add -select slo=SECONDS or use a sweep scenario")
+		}
+		selector = target
+		selOverride = true
+	}
+
 	// mkSweep assembles the grid every distributed mode operates on: a
 	// grid scenario's own sweep (extended by any -sweep axes), or the
 	// ad-hoc base × axes.
@@ -492,7 +559,7 @@ func run(args []string, out io.Writer) error {
 		if gridBase != nil {
 			s := *gridBase
 			s.Axes = append(append([]farm.Axis{}, s.Axes...), axes...)
-			if *selectS != "" {
+			if selOverride {
 				s.Select = selector
 			}
 			return s
@@ -554,7 +621,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printMetrics(out, m, *threshold, *cacheB > 0, *verbose)
+	// The threshold header is the ad-hoc flag's echo; scenario-based
+	// bases carry their policy in the spec.
+	thr := ""
+	if *tracePath != "" {
+		thr = *threshold
+	}
+	printMetrics(out, m, thr, base.CacheBytes > 0, *verbose)
 	return nil
 }
 
@@ -950,6 +1023,8 @@ func printSweep(out io.Writer, res *farm.SweepResult, verbose bool) {
 	switch sel.Kind {
 	case farm.SelectMinEnergySLO:
 		fmt.Fprintf(out, "selector: min energy with p95 response <= %g s\n", sel.MaxP95)
+	case farm.SelectMinEnergySLOAFR:
+		fmt.Fprintf(out, "selector: min energy with p95 response <= %g s and AFR <= %g%%\n", sel.MaxP95, sel.MaxAFR*100)
 	case farm.SelectKnee:
 		fmt.Fprintln(out, "selector: knee of the energy/response curve")
 	case farm.SelectPareto:
@@ -976,6 +1051,8 @@ func printSweep(out io.Writer, res *farm.SweepResult, verbose bool) {
 			mark = "front"
 		case sel.Kind == farm.SelectMinEnergySLO && m.RespP95 <= sel.MaxP95:
 			mark = "ok"
+		case sel.Kind == farm.SelectMinEnergySLOAFR && m.RespP95 <= sel.MaxP95 && m.AFR <= sel.MaxAFR:
+			mark = "ok"
 		}
 		fmt.Fprintf(out, "%-*s %10.1f %9.1f%% %10.2f %10.2f %8s\n",
 			width, res.Points[i].Label, m.AvgPower, m.PowerSavingRatio*100, m.RespP95, m.RespMean, mark)
@@ -986,6 +1063,8 @@ func printSweep(out io.Writer, res *farm.SweepResult, verbose bool) {
 		fmt.Fprintf(out, "\noperating point: %s (%.1f W, p95 %.2f s)\n", best.Label, best.Metrics.AvgPower, best.Metrics.RespP95)
 	case sel.Kind == farm.SelectMinEnergySLO:
 		fmt.Fprintln(out, "\nno point meets the SLO — add disks or relax the target")
+	case sel.Kind == farm.SelectMinEnergySLOAFR:
+		fmt.Fprintln(out, "\nno point meets both the SLO and the AFR budget — relax a target or cap cycles instead")
 	case sel.Kind == farm.SelectPareto:
 		fmt.Fprintf(out, "\npareto front: %d of %d points\n", len(res.Front), len(res.Points))
 	}
@@ -1068,6 +1147,11 @@ func printMetrics(out io.Writer, m *farm.Metrics, threshold string, withCache, v
 		m.RespMean, m.RespMedian, m.RespP95, m.RespP99, m.RespMax)
 	fmt.Fprintf(out, "requests          %d completed, %d unfinished\n", m.Completed, m.Unfinished)
 	fmt.Fprintf(out, "spin transitions  %d up, %d down\n", m.SpinUps, m.SpinDowns)
+	fmt.Fprintf(out, "drive life        %.1f cycles/disk-day, modeled AFR %.2f%%\n", m.CyclesPerDay, m.AFR*100)
+	if m.Failures > 0 || m.Rebuilds > 0 {
+		fmt.Fprintf(out, "failures          %d (%d data-loss), %d rebuilds, %.0f s degraded\n",
+			m.Failures, m.DataLossEvents, m.Rebuilds, m.RebuildTime)
+	}
 	fmt.Fprintf(out, "avg standby disks %.1f of %d\n", m.AvgStandbyDisks, m.FarmSize)
 	fmt.Fprintf(out, "peak disk queue   %d\n", m.Sim.PeakQueue)
 	if withCache {

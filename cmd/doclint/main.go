@@ -1,0 +1,178 @@
+// Command doclint is the repository's documentation gate: it fails
+// when an exported identifier of the root diskpack package lacks a doc
+// comment, or when any package under the module (root, internal/*,
+// cmd/*) lacks a package-level doc comment. CI runs it on every push;
+// run it locally with
+//
+//	go run ./cmd/doclint
+//
+// The rules are deliberately narrower than a general-purpose linter:
+// the root package is the public API surface, so every exported type,
+// function, constant, and variable there must say what it is; package
+// comments everywhere keep `go doc` useful. An identifier inside a
+// parenthesized const/var/type block counts as documented when either
+// the spec or the enclosing block carries the comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to lint")
+	flag.Parse()
+	problems, err := lint(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lint returns one line per documentation problem under root, sorted
+// for stable output.
+func lint(root string) ([]string, error) {
+	var problems []string
+
+	// Every package in the module needs a package comment.
+	dirs, err := goPackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			rel, _ := filepath.Rel(root, dir)
+			problems = append(problems, fmt.Sprintf("%s: package has no doc comment", rel))
+		}
+	}
+
+	// Every exported identifier of the root package needs a doc comment.
+	undocs, err := undocumentedExports(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, undocs...)
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// goPackageDirs lists every directory under root holding non-test Go
+// files, skipping hidden directories and testdata.
+func goPackageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageComment reports whether any non-test file in dir carries a
+// package doc comment.
+func hasPackageComment(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, notTest, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(f.Doc.List) > 0 {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// undocumentedExports lists the exported root-package identifiers with
+// no doc comment, as "file: identifier" lines.
+func undocumentedExports(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, notTest, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", filepath.Base(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					// Methods on exported types count too; the receiver
+					// type name filters nothing — an exported method
+					// deserves a comment wherever it hangs.
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					blockDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && !blockDoc {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if s.Doc != nil || s.Comment != nil || blockDoc {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(n.Pos(), "value", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// notTest filters _test.go files out of a parser.ParseDir pass.
+func notTest(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }

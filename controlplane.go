@@ -75,7 +75,10 @@ func RunFarmStream(spec FarmSpec, seed int64, epoch float64, sink FarmStreamSink
 	return farm.RunStream(spec, seed, epoch, sink)
 }
 
-// ControlWindowIdleGapBuckets and ControlWindowRespBuckets return the
-// windows' histogram bucket bounds.
+// ControlWindowIdleGapBuckets returns the telemetry windows' idle-gap
+// histogram bucket bounds.
 func ControlWindowIdleGapBuckets() []float64 { return farm.IdleGapBuckets() }
-func ControlWindowRespBuckets() []float64    { return farm.RespBuckets() }
+
+// ControlWindowRespBuckets returns the telemetry windows' response-time
+// histogram bucket bounds.
+func ControlWindowRespBuckets() []float64 { return farm.RespBuckets() }

@@ -160,7 +160,9 @@ func New(cs farm.ControlSpec, spec farm.Spec) (Controller, error) {
 		if budget == 0 {
 			budget = DefaultBudgetP95
 		}
-		return NewTailBudget(budget, farm.GroupParams(spec)), nil
+		tb := NewTailBudget(budget, farm.GroupParams(spec))
+		tb.CycleBudget = cs.CycleBudget
+		return tb, nil
 	case KindRateRespec:
 		planned, err := farm.WorkloadRate(spec)
 		if err != nil {
@@ -209,10 +211,20 @@ type TailBudget struct {
 	// SpendTarget is how much of the allowance the controller dares to
 	// spend (< 1, the safety margin under the SLO).
 	SpendTarget float64
+	// CycleBudget, when positive, adds the reliability constraint of
+	// farm.ControlSpec.CycleBudget: start/stop cycles per disk-day. The
+	// controller tracks each group's cumulative spin-downs and, once a
+	// group runs ahead of its pro-rated allowance, only candidates that
+	// sleep through no observed gaps (and so cycle no further) remain
+	// eligible — the same wear arithmetic policy.CycleBudget enforces
+	// per disk, applied here at the group level from telemetry alone,
+	// keeping controlled runs deterministic.
+	CycleBudget float64
 
 	params    []disk.Params // per group drive model
 	completed []int64       // per group, cumulative
 	over      []int64       // per group, cumulative completions over Budget
+	spins     []int64       // per group, cumulative spin-downs
 }
 
 // NewTailBudget returns the controller at its defaults: p95 semantics,
@@ -258,9 +270,11 @@ func gapMids() []float64 {
 // pickThreshold scores every candidate threshold against the window's
 // idle-gap histogram — modeled energy to serve those gaps, and how
 // many would end in a stall — and returns the cheapest candidate whose
-// stalls fit the remaining tail allowance, or 0 when the histogram is
-// empty (no gaps closed, nothing learned).
-func (c *TailBudget) pickThreshold(p disk.Params, gaps []int64, remaining float64) float64 {
+// stalls fit the remaining tail allowance and whose spin cycles fit
+// the remaining cycle allowance (every slept-through gap is one
+// start/stop cycle), or 0 when the histogram is empty (no gaps
+// closed, nothing learned).
+func (c *TailBudget) pickThreshold(p disk.Params, gaps []int64, remaining, cycleRemaining float64) float64 {
 	mids := gapMids()
 	var total int64
 	for _, n := range gaps {
@@ -289,6 +303,9 @@ func (c *TailBudget) pickThreshold(p disk.Params, gaps []int64, remaining float6
 		if float64(stalls) > remaining && stalls > 0 {
 			continue
 		}
+		if float64(stalls) > cycleRemaining && stalls > 0 {
+			continue
+		}
 		if energy < bestEnergy {
 			best, bestEnergy = t, energy
 		}
@@ -306,11 +323,13 @@ func (c *TailBudget) Observe(w *farm.Window) []Action {
 	if c.completed == nil {
 		c.completed = make([]int64, len(w.Groups))
 		c.over = make([]int64, len(w.Groups))
+		c.spins = make([]int64, len(w.Groups))
 	}
 	var acts []Action
 	for _, g := range w.Groups {
 		c.completed[g.Group] += g.Completed
 		c.over[g.Group] += c.overBudget(g.RespHist)
+		c.spins[g.Group] += int64(g.SpinDowns)
 		if g.Threshold <= 0 {
 			continue // group is not tunable
 		}
@@ -319,7 +338,12 @@ func (c *TailBudget) Observe(w *farm.Window) []Action {
 			p = c.params[g.Group]
 		}
 		remaining := c.SpendTarget*c.TailFrac*float64(c.completed[g.Group]) - float64(c.over[g.Group])
-		t := c.pickThreshold(p, g.IdleGaps, remaining)
+		cycleRemaining := math.Inf(1)
+		if c.CycleBudget > 0 {
+			allowance := c.CycleBudget * (w.End / 86400) * float64(g.Disks)
+			cycleRemaining = allowance - float64(c.spins[g.Group])
+		}
+		t := c.pickThreshold(p, g.IdleGaps, remaining, cycleRemaining)
 		if t <= 0 {
 			continue
 		}

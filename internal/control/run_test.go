@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"testing"
 	"time"
 
@@ -88,6 +89,40 @@ func TestControlledRunDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(mustJSON(t, a.Metrics), mustJSON(t, m)) {
 		t.Error("farm.Run hook result differs from RunSpec metrics")
+	}
+}
+
+// A tail-budget controller with a cycle budget stops retuning into
+// spin-happy thresholds once a group runs ahead of its pro-rated
+// cycle allowance: the capped run cycles no more than the uncapped
+// one, stays deterministic, and a tight cap bites visibly.
+func TestTailBudgetCycleBudget(t *testing.T) {
+	sc, _ := farm.Lookup("controlled-bursty")
+	free, err := RunSpec(sc.Spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := sc.Spec
+	cs := *capped.Control
+	cs.CycleBudget = 1
+	capped.Control = &cs
+	a, err := RunSpec(capped, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.SpinDowns > free.Metrics.SpinDowns {
+		t.Errorf("cycle cap increased spin-downs: %d capped vs %d free",
+			a.Metrics.SpinDowns, free.Metrics.SpinDowns)
+	}
+	if a.Metrics.SpinDowns >= free.Metrics.SpinDowns {
+		t.Logf("note: cap did not bite (capped %d, free %d)", a.Metrics.SpinDowns, free.Metrics.SpinDowns)
+	}
+	b, err := RunSpec(capped, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, a), mustJSON(t, b)) {
+		t.Error("repeat cycle-capped controlled runs differ")
 	}
 }
 
@@ -216,21 +251,31 @@ func TestTailBudgetPickThreshold(t *testing.T) {
 		return h
 	}
 	// Bucket 8 covers (200,500] s — far beyond break-even 53.3 s.
-	if got := c.pickThreshold(p, hist(8, 100), 1000); got > p.BreakEvenThreshold() {
+	if got := c.pickThreshold(p, hist(8, 100), 1000, math.Inf(1)); got > p.BreakEvenThreshold() {
 		t.Errorf("long gaps with budget picked %v, want aggressive (<= break-even)", got)
 	}
 	// Same gaps, no budget left: only stall-free thresholds remain.
-	if got := c.pickThreshold(p, hist(8, 100), 0); got <= 350 {
+	if got := c.pickThreshold(p, hist(8, 100), 0, math.Inf(1)); got <= 350 {
 		t.Errorf("long gaps without budget picked %v, want above the gaps", got)
 	}
 	// Bucket 3 covers (5,10] s — spinning down in those gaps is a pure
 	// loss; the pick must exceed them regardless of budget.
-	if got := c.pickThreshold(p, hist(3, 100), 1000); got < 10 {
+	if got := c.pickThreshold(p, hist(3, 100), 1000, math.Inf(1)); got < 10 {
 		t.Errorf("short gaps picked %v, want at least 10 (never spin down inside them)", got)
 	}
 	// Empty histogram: no decision.
-	if got := c.pickThreshold(p, make([]int64, nb), 1000); got != 0 {
+	if got := c.pickThreshold(p, make([]int64, nb), 1000, math.Inf(1)); got != 0 {
 		t.Errorf("empty histogram picked %v", got)
+	}
+	// Long gaps, latency budget to spare, but the cycle budget is spent:
+	// the pick must rise above the gaps so no further cycles accrue.
+	if got := c.pickThreshold(p, hist(8, 100), 1000, 0); got <= 350 {
+		t.Errorf("exhausted cycle budget picked %v, want above the gaps", got)
+	}
+	// A cycle allowance wider than the gap count leaves the aggressive
+	// choice standing.
+	if got := c.pickThreshold(p, hist(8, 100), 1000, 500); got > p.BreakEvenThreshold() {
+		t.Errorf("ample cycle budget picked %v, want aggressive (<= break-even)", got)
 	}
 }
 

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"diskpack/internal/farm"
+)
+
+// Reliability regenerates the reliability-axis headline as a table:
+// the bursty workload under every static spin-down threshold and under
+// the cycle-capped policy, one row per point. The columns expose the
+// third axis the paper's energy/response trade-off hides — modeled AFR
+// and start/stop cycles per disk-day — and the final column marks AFR
+// feasibility, so the table shows why the cheapest threshold is not
+// the one an operator should run: it buys its joules with drive life.
+// Options.Scale shrinks the horizon (full scale is 8000 s of ON/OFF
+// arrivals; shorter horizons see fewer OFF periods and fewer cycles).
+func Reliability(opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sc, ok := farm.Lookup("reliability-sweep")
+	if !ok || sc.Grid == nil {
+		return nil, fmt.Errorf("exp: reliability-sweep scenario not registered")
+	}
+	grid := *sc.Grid
+	scaleBursty := func(spec *farm.Spec) {
+		cfg := *spec.Workload.Bursty
+		cfg.Duration *= opts.Scale
+		if cfg.Duration < 2000 {
+			cfg.Duration = 2000 // at least a few ON/OFF periods
+		}
+		spec.Workload = farm.BurstyWorkload(cfg)
+	}
+	scaleBursty(&grid.Base)
+
+	res, err := farm.RunSweep(grid, opts.Seed, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	capped := sc.Spec
+	scaleBursty(&capped)
+	cm, err := farm.Run(capped, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	maxAFR := grid.Select.MaxAFR
+	t := &Table{
+		Name:    "reliability",
+		Title:   fmt.Sprintf("spin threshold vs drive life, ON/OFF load (AFR budget %g%%)", maxAFR*100),
+		XLabel:  "point",
+		Columns: []string{"energyMJ", "p95s", "afrPct", "cyclesPerDay", "meetsAFR"},
+	}
+	row := func(i int, label string, m *farm.Metrics) {
+		meets := 0.0
+		if m.AFR <= maxAFR {
+			meets = 1
+		}
+		t.AddRow(float64(i), m.Energy/1e6, m.RespP95, m.AFR*100, m.CyclesPerDay, meets)
+		t.Notes = append(t.Notes, fmt.Sprintf("point %d: %s", i, label))
+	}
+	for i := range res.Points {
+		row(i, res.Points[i].Label, res.Points[i].Metrics)
+	}
+	row(len(res.Points), fmt.Sprintf("%v cap=%g/day", capped.Spin.Kind, capped.Spin.CycleBudget), cm)
+	if res.Best >= 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("operating point under SLO+AFR: %s", res.Points[res.Best].Label))
+	}
+	return t, nil
+}

@@ -227,12 +227,13 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"analysis":    single(Analysis),
 	"reorg":       single(Reorg),
 	"control":     single(StaticVsControlled),
+	"reliability": single(Reliability),
 }
 
 // Names returns the registry keys an "all" run executes, in a stable
 // order that avoids recomputing shared sweeps.
 func Names() []string {
-	return []string{"table1", "table2", "packquality", "scaling", "fig23", "fig4", "fig56", "vsweep", "policies", "analysis", "reorg", "control"}
+	return []string{"table1", "table2", "packquality", "scaling", "fig23", "fig4", "fig56", "vsweep", "policies", "analysis", "reorg", "control", "reliability"}
 }
 
 func single(fn func(Options) (*Table, error)) func(Options) ([]*Table, error) {

@@ -33,6 +33,21 @@ func miniNERSC(n, m int) workload.NERSC {
 	return cfg
 }
 
+// miniBursty is the default ON/OFF workload with the mini file
+// population, cut to duration seconds. Its 9-minute silences make
+// every OFF period a spin-down opportunity — the densest source of
+// start/stop cycles per simulated second, which is why the
+// reliability scenarios build on it.
+func miniBursty(duration float64) workload.Bursty {
+	cfg := workload.DefaultBursty(2, 0)
+	mini := miniSynthetic(2000, 2)
+	cfg.NumFiles = mini.NumFiles
+	cfg.MinSize = mini.MinSize
+	cfg.MaxSize = mini.MaxSize
+	cfg.Duration = duration
+	return cfg
+}
+
 // The built-in catalogue. The first two points are paper miniatures;
 // the remaining four are scenarios the hand-wired seed could not
 // express: a heterogeneous farm, diurnal load, bursty ON/OFF arrivals,
@@ -125,6 +140,58 @@ func init() {
 		Sweep: &SLOSweep{
 			Thresholds: []float64{30, 60, 120, 300, 900, 1800, 3600},
 			MaxP95:     25,
+		},
+	})
+	Register(Scenario{
+		Name: "failure-injection",
+		Doc:  "Bursty farm under accelerated spin-cycle wear: disks fail, redundancy groups rebuild onto survivors",
+		Spec: Spec{
+			Name:     "failure-injection",
+			FarmSize: 20,
+			Workload: BurstyWorkload(miniBursty(8000)),
+			Alloc:    Packed(0.1),
+			Spin:     SpinSpec{Kind: SpinBreakEven},
+			// Rated cycle life accelerated from 50,000 to 8 so the
+			// ~13 OFF-period spin cycles of the run consume whole
+			// drive lifetimes: most disks fail, exercising rebuild
+			// reads on group survivors and the replacement write.
+			Reliability: &ReliabilitySpec{
+				GroupSize:  5,
+				CheckEvery: 900,
+				Wear:       &disk.WearParams{RatedCycles: 8, BaseAFR: 0.0034, CycleWear: 1},
+			},
+		},
+	})
+	Register(Scenario{
+		Name: "reliability-sweep",
+		Doc:  "Spin threshold vs drive life: cheapest point with p95 <= 30 s and modeled AFR <= 10%",
+		Spec: Spec{
+			Name:     "reliability-sweep",
+			FarmSize: 20,
+			Workload: BurstyWorkload(miniBursty(8000)),
+			Alloc:    Packed(0.1),
+			// The base point is the policy answer to the sweep's
+			// finding: a break-even threshold capped at one
+			// start/stop cycle per disk-day, trading a little energy
+			// for staying inside the AFR budget.
+			Spin: CycleCapSpin(0, 1),
+			Reliability: &ReliabilitySpec{
+				GroupSize:  5,
+				CheckEvery: 900,
+			},
+		},
+		Grid: &Sweep{
+			Name: "reliability-sweep",
+			Base: Spec{
+				Name:        "reliability-sweep",
+				FarmSize:    20,
+				Workload:    BurstyWorkload(miniBursty(8000)),
+				Alloc:       Packed(0.1),
+				Spin:        SpinSpec{Kind: SpinBreakEven}, // overridden per sweep point
+				Reliability: &ReliabilitySpec{GroupSize: 5, CheckEvery: 900},
+			},
+			Axes:   []Axis{{Kind: AxisSpinThreshold, Values: []float64{30, 120, 600, 1800}}},
+			Select: Selector{Kind: SelectMinEnergySLOAFR, MaxP95: 30, MaxAFR: 0.10},
 		},
 	})
 }

@@ -250,6 +250,7 @@ func RunStream(spec Spec, seed int64, epoch float64, sink StreamSink) (*Metrics,
 		PolicyFactory: factory,
 		CacheBytes:    spec.CacheBytes,
 		WriteBestFit:  spec.WriteBestFit,
+		Reliability:   spec.reliabilityConfig(seed),
 	}, storage.StreamConfig{
 		Epoch:   epoch,
 		GroupOf: groupOf,

@@ -51,8 +51,8 @@ func workerCounts() []int {
 
 func TestParallelIdentityAcrossScenarios(t *testing.T) {
 	scenarios := farm.Scenarios()
-	if len(scenarios) < 9 {
-		t.Fatalf("only %d scenarios registered — controlled-* scenarios missing?", len(scenarios))
+	if len(scenarios) < 11 {
+		t.Fatalf("only %d scenarios registered — controlled-* or reliability scenarios missing?", len(scenarios))
 	}
 	controlled := 0
 	for _, sc := range scenarios {

@@ -43,6 +43,19 @@ type Metrics struct {
 	AvgStandbyDisks       float64
 	CacheHitRatio         float64
 
+	// Reliability. Failures, DataLossEvents, Rebuilds, RebuildTime
+	// (seconds spent rebuilding), and RebuildBytes are nonzero only for
+	// specs with Reliability set; CyclesPerDay (farm-average start/stop
+	// cycles per disk-day) and AFR (the wear model's annual failure
+	// rate, extrapolated from the observed duty cycle) are modeled for
+	// every run so sweeps can select under a durability budget.
+	Failures       int
+	DataLossEvents int
+	Rebuilds       int
+	RebuildTime    float64
+	CyclesPerDay   float64
+	AFR            float64
+
 	// Utilization[i] is disk i's busy fraction (seek + transfer time
 	// over the horizon).
 	Utilization []float64
@@ -201,9 +214,32 @@ func (s Spec) spinConfig(perDisk []disk.Params, seed int64) (threshold float64, 
 		// Un-controlled runs behave as a fixed threshold at the initial
 		// value; RunStream installs the shared per-group knobs instead.
 		return 0, func(i int) disk.SpinPolicy { return policy.NewTunable(paramsAt(i), s.Spin.Threshold) }, nil
+	case SpinCycleBudget:
+		return 0, func(i int) disk.SpinPolicy {
+			return policy.NewCycleBudget(paramsAt(i), s.Spin.Threshold, s.Spin.CycleBudget)
+		}, nil
 	default:
 		return 0, nil, fmt.Errorf("farm: unknown spin kind %d", int(s.Spin.Kind))
 	}
+}
+
+// reliabilityConfig maps the spec's reliability stage onto the
+// storage config: the failure clocks are seeded at seed+3, after the
+// trace (seed), allocation (seed+1), and spin policies (seed+2).
+func (s Spec) reliabilityConfig(seed int64) *storage.ReliabilityConfig {
+	if s.Reliability == nil {
+		return nil
+	}
+	rc := &storage.ReliabilityConfig{
+		GroupSize:    s.Reliability.GroupSize,
+		RebuildBytes: s.Reliability.RebuildBytes,
+		CheckEvery:   s.Reliability.CheckEvery,
+		Seed:         seed + 3,
+	}
+	if s.Reliability.Wear != nil {
+		rc.Wear = *s.Reliability.Wear
+	}
+	return rc
 }
 
 // resolveFarmSize settles the simulated farm size against the
@@ -252,6 +288,12 @@ func assembleMetrics(spec Spec, seed int64, farmSize int, alloc *Allocation, res
 		SpinDowns:        res.SpinDowns,
 		AvgStandbyDisks:  res.AvgStandbyDisks,
 		CacheHitRatio:    res.CacheHitRatio,
+		Failures:         res.Failures,
+		DataLossEvents:   res.DataLossEvents,
+		Rebuilds:         res.Rebuilds,
+		RebuildTime:      res.RebuildTime,
+		CyclesPerDay:     res.CyclesPerDay,
+		AFR:              res.AFR,
 		Utilization:      make([]float64, farmSize),
 		Sim:              res,
 	}
@@ -314,6 +356,7 @@ func Run(spec Spec, seed int64) (*Metrics, error) {
 		PolicyFactory: factory,
 		CacheBytes:    spec.CacheBytes,
 		WriteBestFit:  spec.WriteBestFit,
+		Reliability:   spec.reliabilityConfig(seed),
 	}, storage.ParallelConfig{Workers: SimWorkers(), Label: spec.Name})
 	if err != nil {
 		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)

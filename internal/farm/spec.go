@@ -247,6 +247,13 @@ const (
 	// controller it behaves as a fixed threshold at SpinSpec.Threshold,
 	// or the drive's break-even time when Threshold is zero.
 	SpinTailAware
+	// SpinCycleBudget is a fixed threshold (SpinSpec.Threshold seconds,
+	// or the drive's break-even time when zero) capped at
+	// SpinSpec.CycleBudget spin-downs per disk-day: once a disk exhausts
+	// its continuously refilling cycle budget it stays spinning,
+	// trading energy for start/stop drive lifetime
+	// (policy.CycleBudget).
+	SpinCycleBudget
 )
 
 // String names the kind.
@@ -266,6 +273,8 @@ func (k SpinKind) String() string {
 		return "randomized"
 	case SpinTailAware:
 		return "tailaware"
+	case SpinCycleBudget:
+		return "cyclecap"
 	default:
 		return fmt.Sprintf("SpinKind(%d)", int(k))
 	}
@@ -277,22 +286,41 @@ type SpinSpec struct {
 	// Threshold is the fixed idleness threshold in seconds (SpinFixed
 	// only).
 	Threshold float64 `json:",omitempty"`
+	// CycleBudget is the allowed spin-downs per disk-day
+	// (SpinCycleBudget only, > 0).
+	CycleBudget float64 `json:",omitempty"`
 }
 
 // FixedSpin returns a constant-threshold policy spec.
 func FixedSpin(seconds float64) SpinSpec { return SpinSpec{Kind: SpinFixed, Threshold: seconds} }
 
+// CycleCapSpin returns a cycle-capped policy spec: threshold seconds
+// (0 = break-even) capped at perDay spin-downs per disk-day.
+func CycleCapSpin(seconds, perDay float64) SpinSpec {
+	return SpinSpec{Kind: SpinCycleBudget, Threshold: seconds, CycleBudget: perDay}
+}
+
 // validate reports the first inconsistency.
 func (s SpinSpec) validate() error {
 	switch s.Kind {
-	case SpinFixed, SpinTailAware:
+	case SpinFixed, SpinTailAware, SpinCycleBudget:
 		if s.Threshold < 0 || math.IsNaN(s.Threshold) {
 			return fmt.Errorf("farm: invalid %v spin threshold %v", s.Kind, s.Threshold)
+		}
+		if s.Kind == SpinCycleBudget {
+			if !(s.CycleBudget > 0) || math.IsNaN(s.CycleBudget) || math.IsInf(s.CycleBudget, 0) {
+				return fmt.Errorf("farm: cycle budget %v must be positive", s.CycleBudget)
+			}
+		} else if s.CycleBudget != 0 {
+			return fmt.Errorf("farm: cycle budget %v set but policy is %v", s.CycleBudget, s.Kind)
 		}
 		return nil
 	case SpinBreakEven, SpinNever, SpinImmediate, SpinAdaptive, SpinRandomized:
 		if s.Threshold != 0 {
 			return fmt.Errorf("farm: spin threshold %v set but policy is %v", s.Threshold, s.Kind)
+		}
+		if s.CycleBudget != 0 {
+			return fmt.Errorf("farm: cycle budget %v set but policy is %v", s.CycleBudget, s.Kind)
 		}
 		return nil
 	default:
@@ -324,6 +352,12 @@ type ControlSpec struct {
 	// Alpha is the rate-respec controller's EWMA weight in (0, 1]
 	// (0 = default).
 	Alpha float64 `json:",omitempty"`
+	// CycleBudget caps the tail-budget controller's spin-down spending
+	// at this many cycles per disk-day (0 = unlimited): the controller
+	// observes each group's cumulative spin-downs from the windows and
+	// only raises thresholds once a group runs ahead of its budget —
+	// still a deterministic pure function of spec+seed.
+	CycleBudget float64 `json:",omitempty"`
 }
 
 // validate reports the first inconsistency.
@@ -339,6 +373,48 @@ func (c ControlSpec) validate() error {
 		return fmt.Errorf("farm: respec factor %v must exceed 1 (or 0 for the default)", c.RespecFactor)
 	case c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha):
 		return fmt.Errorf("farm: EWMA weight %v outside [0,1]", c.Alpha)
+	case c.CycleBudget < 0 || math.IsNaN(c.CycleBudget) || math.IsInf(c.CycleBudget, 0):
+		return fmt.Errorf("farm: invalid control cycle budget %v", c.CycleBudget)
+	}
+	return nil
+}
+
+// ReliabilitySpec enables wear-driven disk failures and rebuild
+// traffic (storage.ReliabilityConfig): disks accumulate hazard from
+// start/stop cycles and powered-on hours, failures are detected at
+// CheckEvery boundaries, and each failure injects rebuild streams on
+// the failed disk's redundancy group. Pure data, so reliability specs
+// serialize, sweep, shard, and coordinate like everything else.
+type ReliabilitySpec struct {
+	// GroupSize is the redundancy-group width (consecutive disk IDs,
+	// >= 2).
+	GroupSize int
+	// RebuildBytes fixes the reconstructed volume per failure; 0
+	// derives it from the failed disk's used capacity.
+	RebuildBytes int64 `json:",omitempty"`
+	// CheckEvery is the failure-check period in simulated seconds
+	// (0 = 3600).
+	CheckEvery float64 `json:",omitempty"`
+	// Wear overrides the spin-cycle wear model (nil = the reference
+	// drive's: 50,000 rated cycles, 0.34% base AFR). Scenarios that
+	// want failures within a short simulated horizon use accelerated
+	// wear (small RatedCycles).
+	Wear *disk.WearParams `json:",omitempty"`
+}
+
+// validate reports the first inconsistency.
+func (r ReliabilitySpec) validate() error {
+	if r.GroupSize < 2 {
+		return fmt.Errorf("farm: reliability group size %d must be >= 2", r.GroupSize)
+	}
+	if r.RebuildBytes < 0 {
+		return fmt.Errorf("farm: negative rebuild volume %d", r.RebuildBytes)
+	}
+	if r.CheckEvery < 0 || math.IsNaN(r.CheckEvery) || math.IsInf(r.CheckEvery, 0) {
+		return fmt.Errorf("farm: invalid reliability check period %v", r.CheckEvery)
+	}
+	if r.Wear != nil {
+		return r.Wear.Validate()
 	}
 	return nil
 }
@@ -374,6 +450,9 @@ type Spec struct {
 	// which actuates at epoch boundaries. Run dispatches such specs to
 	// the registered control runner.
 	Control *ControlSpec `json:",omitempty"`
+	// Reliability, when non-nil, adds wear-driven disk failures and
+	// rebuild traffic to the run.
+	Reliability *ReliabilitySpec `json:",omitempty"`
 }
 
 // Validate reports the first invalid field.
@@ -406,6 +485,11 @@ func (s Spec) Validate() error {
 	}
 	if s.Control != nil {
 		if err := s.Control.validate(); err != nil {
+			return err
+		}
+	}
+	if s.Reliability != nil {
+		if err := s.Reliability.validate(); err != nil {
 			return err
 		}
 	}

@@ -288,13 +288,20 @@ const (
 	// SelectPareto reports the Pareto front of (energy, mean response):
 	// Front lists every non-dominated point; Best stays -1.
 	SelectPareto
+	// SelectMinEnergySLOAFR picks the lowest-energy point that meets
+	// BOTH budgets: p95 response within MaxP95 and modeled annual
+	// failure rate within MaxAFR — min energy under an SLO and a
+	// durability budget. Aggressive spin-down points that win on energy
+	// but burn start/stop cycles fail the AFR leg.
+	SelectMinEnergySLOAFR
 )
 
 var selectorKindNames = map[SelectorKind]string{
-	SelectNone:         "none",
-	SelectMinEnergySLO: "slo",
-	SelectKnee:         "knee",
-	SelectPareto:       "pareto",
+	SelectNone:            "none",
+	SelectMinEnergySLO:    "slo",
+	SelectKnee:            "knee",
+	SelectPareto:          "pareto",
+	SelectMinEnergySLOAFR: "slo-afr",
 }
 
 // String names the kind (the -select flag vocabulary).
@@ -308,21 +315,35 @@ func (k SelectorKind) String() string {
 // Selector is a sweep's pluggable operating-point rule.
 type Selector struct {
 	Kind SelectorKind
-	// MaxP95 is the response-time SLO in seconds (SelectMinEnergySLO).
+	// MaxP95 is the response-time SLO in seconds (SelectMinEnergySLO,
+	// SelectMinEnergySLOAFR).
 	MaxP95 float64 `json:",omitempty"`
+	// MaxAFR is the annual-failure-rate budget in (0, 1)
+	// (SelectMinEnergySLOAFR).
+	MaxAFR float64 `json:",omitempty"`
 }
 
 // validate reports the first inconsistency.
 func (s Selector) validate() error {
 	switch s.Kind {
-	case SelectMinEnergySLO:
+	case SelectMinEnergySLO, SelectMinEnergySLOAFR:
 		if s.MaxP95 <= 0 || math.IsNaN(s.MaxP95) {
 			return fmt.Errorf("farm: sweep SLO %v must be positive", s.MaxP95)
+		}
+		if s.Kind == SelectMinEnergySLOAFR {
+			if !(s.MaxAFR > 0 && s.MaxAFR < 1) || math.IsNaN(s.MaxAFR) {
+				return fmt.Errorf("farm: AFR budget %v outside (0,1)", s.MaxAFR)
+			}
+		} else if s.MaxAFR != 0 {
+			return fmt.Errorf("farm: selector %v does not take an AFR budget (MaxAFR %v set)", s.Kind, s.MaxAFR)
 		}
 		return nil
 	case SelectNone, SelectKnee, SelectPareto:
 		if s.MaxP95 != 0 {
 			return fmt.Errorf("farm: selector %v does not take an SLO (MaxP95 %v set)", s.Kind, s.MaxP95)
+		}
+		if s.MaxAFR != 0 {
+			return fmt.Errorf("farm: selector %v does not take an AFR budget (MaxAFR %v set)", s.Kind, s.MaxAFR)
 		}
 		return nil
 	default:
@@ -343,10 +364,13 @@ func (s Selector) pick(points []Point) (best int, front []int) {
 		return -1, nil
 	}
 	switch s.Kind {
-	case SelectMinEnergySLO:
+	case SelectMinEnergySLO, SelectMinEnergySLOAFR:
 		bestEnergy := math.Inf(1)
 		for i := range points {
 			m := points[i].Metrics
+			if s.Kind == SelectMinEnergySLOAFR && m.AFR > s.MaxAFR {
+				continue
+			}
 			if m.RespP95 <= s.MaxP95 && m.Energy < bestEnergy {
 				bestEnergy = m.Energy
 				best = i
@@ -758,24 +782,33 @@ func parseAllocKind(s string) (AllocKind, error) {
 }
 
 // ParseSelector parses the -select flag grammar: "none", "knee",
-// "pareto", or "slo=SECONDS" (min energy with p95 response within the
-// budget).
+// "pareto", "slo=SECONDS" (min energy with p95 response within the
+// budget), or "slo=SECONDS,afr=RATE" (min energy under both the SLO
+// and an annual-failure-rate budget).
 func ParseSelector(s string) (Selector, error) {
 	if v, ok := strings.CutPrefix(s, "slo="); ok {
-		p95, err := strconv.ParseFloat(v, 64)
+		slo, afr, hasAFR := strings.Cut(v, ",afr=")
+		p95, err := strconv.ParseFloat(slo, 64)
 		if err != nil {
-			return Selector{}, fmt.Errorf("farm: selector SLO %q: %w", v, err)
+			return Selector{}, fmt.Errorf("farm: selector SLO %q: %w", slo, err)
 		}
 		sel := Selector{Kind: SelectMinEnergySLO, MaxP95: p95}
+		if hasAFR {
+			sel.Kind = SelectMinEnergySLOAFR
+			sel.MaxAFR, err = strconv.ParseFloat(afr, 64)
+			if err != nil {
+				return Selector{}, fmt.Errorf("farm: selector AFR budget %q: %w", afr, err)
+			}
+		}
 		return sel, sel.validate()
 	}
 	for k, n := range selectorKindNames {
 		if n == s {
-			if k == SelectMinEnergySLO {
-				return Selector{}, fmt.Errorf("farm: selector slo needs a budget: slo=SECONDS")
+			if k == SelectMinEnergySLO || k == SelectMinEnergySLOAFR {
+				return Selector{}, fmt.Errorf("farm: selector %s needs budgets: slo=SECONDS[,afr=RATE]", n)
 			}
 			return Selector{Kind: k}, nil
 		}
 	}
-	return Selector{}, fmt.Errorf("farm: unknown selector %q (have none, knee, pareto, slo=SECONDS)", s)
+	return Selector{}, fmt.Errorf("farm: unknown selector %q (have none, knee, pareto, slo=SECONDS[,afr=RATE])", s)
 }

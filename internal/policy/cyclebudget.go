@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"diskpack/internal/disk"
+)
+
+// CycleBudget is a cycle-capped spin-down policy: it behaves as a
+// fixed threshold T while the disk is inside its start/stop cycle
+// budget and refuses to spin down (infinite timeout) once the budget
+// is exhausted, trading energy for drive lifetime. The budget refills
+// continuously at PerDay cycles per day of observed idle time, with
+// one day's worth granted up front.
+//
+// The policy is self-clocking: it advances time only by the idle gaps
+// it observes, which under-counts wall-clock time (busy time is
+// invisible) and therefore spends conservatively. A cycle is charged
+// when an observed gap exceeds the timeout it was armed with — i.e.
+// exactly when the disk actually spun down. Everything is
+// deterministic and disk-local, so the policy composes with the
+// sharded kernel without any cross-disk coordination.
+type CycleBudget struct {
+	// T is the threshold used while budget remains, seconds.
+	T float64
+	// PerDay is the sustained spin-down budget, cycles per day.
+	PerDay float64
+
+	elapsed float64 // sum of observed idle gaps — a lower bound on elapsed time
+	spent   float64 // cycles charged so far
+	armed   float64 // timeout the currently open gap was armed with
+}
+
+// NewCycleBudget returns a cycle-capped policy for the given drive:
+// threshold base seconds (the drive's break-even time when base is 0)
+// and a budget of perDay spin-downs per day.
+func NewCycleBudget(p disk.Params, base, perDay float64) *CycleBudget {
+	if base <= 0 {
+		base = p.BreakEvenThreshold()
+	}
+	return &CycleBudget{T: base, PerDay: perDay}
+}
+
+// allowance is the cycles the policy may have spent by now: one day's
+// budget up front plus the continuous refill.
+func (c *CycleBudget) allowance() float64 {
+	return c.PerDay * (1 + c.elapsed/86400)
+}
+
+// Timeout implements disk.SpinPolicy: the base threshold while cycles
+// remain, +Inf (never spin down) once the budget is spent.
+func (c *CycleBudget) Timeout() float64 {
+	if c.spent < c.allowance() {
+		c.armed = c.T
+	} else {
+		c.armed = math.Inf(1)
+	}
+	return c.armed
+}
+
+// ObserveIdle implements disk.SpinPolicy: advances the policy's
+// virtual clock and charges one cycle if this gap crossed the armed
+// timeout (the disk spun down and had to spin back up).
+func (c *CycleBudget) ObserveIdle(gap float64) {
+	if gap > c.armed {
+		c.spent++
+	}
+	c.elapsed += gap
+}
+
+// Spent returns the cycles charged so far.
+func (c *CycleBudget) Spent() float64 { return c.spent }
+
+// String names the policy.
+func (c *CycleBudget) String() string {
+	return fmt.Sprintf("cyclebudget(%.3gs, %.3g/day)", c.T, c.PerDay)
+}

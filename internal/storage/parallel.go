@@ -102,6 +102,11 @@ type runner struct {
 	freeBytes []int64
 	lru       *cache.LRU
 
+	// rel is the reliability ledger (nil without Config.Reliability):
+	// failure clocks, redundancy groups, in-flight rebuilds. Checked
+	// only at reliability boundaries with every shard parked.
+	rel *relState
+
 	migrationEnergy float64
 	migratedFiles   int64
 	migratedBytes   int64
@@ -168,6 +173,9 @@ func newRunner(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig, par 
 	}
 
 	r := &runner{cfg: cfg, tr: tr, sc: sc, par: par}
+	if cfg.Reliability != nil {
+		r.rel = newRelState(*cfg.Reliability, cfg.NumDisks)
+	}
 	if sc != nil {
 		r.ngroups = numGroups(sc.GroupOf)
 		r.disksIn = make([]int, r.ngroups)
@@ -281,6 +289,7 @@ func newRunner(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig, par 
 			m.acc = newWinAccum(sc.GroupOf, r.ngroups, shardDisks[s])
 		}
 		m.doneFn = m.onDone
+		m.rebuildFn = m.onRebuildDone
 		r.shards[s] = m
 	}
 	for d := 0; d < cfg.NumDisks; d++ {
@@ -521,46 +530,77 @@ func (r *runner) assembleWindow(start, end float64, final bool) *Window {
 	w.MigratedFiles = r.migratedFiles - r.prevMigF
 	w.MigratedBytes = r.migratedBytes - r.prevMigB
 	r.prevMigE, r.prevMigF, r.prevMigB = r.migrationEnergy, r.migratedFiles, r.migratedBytes
+	w.Failures, w.DataLossEvents, w.Rebuilds, w.RebuildTime = 0, 0, 0, 0
+	if rel := r.rel; rel != nil {
+		w.Failures = rel.failures - rel.prevFailures
+		w.DataLossEvents = rel.dataLoss - rel.prevDataLoss
+		w.Rebuilds = rel.rebuilds - rel.prevRebuilds
+		w.RebuildTime = rel.rebuildTime - rel.prevRebuildTime
+		rel.prevFailures, rel.prevDataLoss = rel.failures, rel.dataLoss
+		rel.prevRebuilds, rel.prevRebuildTime = rel.rebuilds, rel.rebuildTime
+	}
 	return w
 }
 
 // run advances the simulation to the horizon — one barrier round on
-// the classic path, window by window when streaming — and assembles
-// the results.
+// the classic path, boundary by boundary when streaming windows or
+// reliability checks need the shards parked — and assembles the
+// results.
 func (r *runner) run() (*Results, error) {
 	horizon := r.horizon()
 	stop := r.startWorkers()
 	defer stop()
 
-	if r.sc == nil {
+	if r.sc == nil && r.rel == nil {
 		r.advanceAll(shardStep{end: sim.Time(horizon), finalize: true})
 		return r.results(horizon), nil
 	}
 
-	// The window loop mirrors sim.Env.RunWindows exactly: boundaries at
-	// integer multiples of the epoch from the start of time, the last
-	// window clipped to the horizon and marked final. Shards advance in
-	// lockstep; the observer runs with every shard parked at the
-	// boundary, so its actuations (placement, policy tunables) are
-	// ordered before the next window on every shard.
-	epoch := r.sc.Epoch
-	for k := 1; ; k++ {
-		end := float64(k) * epoch
+	// The boundary loop interleaves two independent cadences: telemetry
+	// windows at integer multiples of the epoch (mirroring
+	// sim.Env.RunWindows exactly — the last window clipped to the
+	// horizon and marked final) and reliability checks at integer
+	// multiples of CheckEvery. Each iteration advances every shard in
+	// lockstep to the earlier of the two next boundaries; boundary code
+	// runs with every shard parked, so window observers' actuations and
+	// injected rebuild streams are ordered before the next advance on
+	// every shard — the property byte-identity at any worker count
+	// rests on. A reliability check that coincides with a window runs
+	// after it, so the failures it books appear in the next window's
+	// deltas along with the rebuild traffic they inject.
+	epoch, relEvery := math.Inf(1), math.Inf(1)
+	if r.sc != nil {
+		epoch = r.sc.Epoch
+	}
+	if r.rel != nil {
+		relEvery = r.rel.cfg.CheckEvery
+	}
+	for kw, kr := 1, 1; ; {
+		wEnd := float64(kw) * epoch
+		rEnd := float64(kr) * relEvery
+		end := math.Min(wEnd, rEnd)
 		final := end >= horizon
 		if final {
 			end = horizon
 		}
-		r.advanceAll(shardStep{end: sim.Time(end), snap: true})
-		w := r.assembleWindow(float64(k-1)*epoch, end, final)
-		if r.sc.OnWindow != nil {
-			if err := r.sc.OnWindow(w, &RunControl{r}); err != nil {
-				return nil, err
+		r.advanceAll(shardStep{end: sim.Time(end), snap: r.sc != nil && (end >= wEnd || final)})
+		if r.sc != nil && (end >= wEnd || final) {
+			w := r.assembleWindow(float64(kw-1)*epoch, end, final)
+			kw++
+			if r.sc.OnWindow != nil {
+				if err := r.sc.OnWindow(w, &RunControl{r}); err != nil {
+					return nil, err
+				}
+			}
+			// Reset per-window accumulators only after assembly consumed
+			// the raw response samples for the Total merge.
+			for _, m := range r.shards {
+				m.acc.reset()
 			}
 		}
-		// Reset per-window accumulators only after assembly consumed
-		// the raw response samples for the Total merge.
-		for _, m := range r.shards {
-			m.acc.reset()
+		if r.rel != nil && (end >= rEnd || final) {
+			r.reliabilityBoundary(end)
+			kr++
 		}
 		if r.needRescan {
 			r.rescanArrivals(end)
@@ -571,6 +611,9 @@ func (r *runner) run() (*Results, error) {
 		}
 	}
 	r.advanceAll(shardStep{end: sim.Time(horizon), finalize: true})
+	if r.rel != nil {
+		r.finishReliability(horizon)
+	}
 	return r.results(horizon), nil
 }
 
@@ -599,7 +642,16 @@ func (r *runner) results(horizon float64) *Results {
 	}
 	res.Unfinished = int64(len(r.tr.Requests)) - res.Completed - res.WritesRejected - res.ReadsUnplaced
 
-	var standbyTime float64
+	wear := disk.DefaultWear()
+	if r.rel != nil {
+		wear = r.rel.wear
+		res.Failures = r.rel.failures
+		res.DataLossEvents = r.rel.dataLoss
+		res.Rebuilds = r.rel.rebuilds
+		res.RebuildTime = r.rel.rebuildTime
+		res.RebuildBytes = r.rel.rebuildBytes
+	}
+	var standbyTime, afrSum float64
 	for i := 0; i < r.cfg.NumDisks; i++ {
 		s := 0
 		if r.shardOf != nil {
@@ -612,6 +664,14 @@ func (r *runner) results(horizon float64) *Results {
 		res.SpinUps += b.SpinUps
 		res.SpinDowns += b.SpinDowns
 		standbyTime += b.Durations[disk.Standby]
+		if horizon > 0 {
+			// Extrapolate this disk's observed duty profile to a year
+			// under the wear model; the farm AFR folds the per-disk
+			// figures in global disk order (order-canonical, so the
+			// modeled AFR is identical at any shard count).
+			powered := horizon - b.Durations[disk.Standby]
+			afrSum += wear.AFR(float64(b.SpinUps)*86400/horizon, powered/horizon)
+		}
 		if q := d.PeakQueueLen(); q > res.PeakQueue {
 			res.PeakQueue = q
 		}
@@ -632,6 +692,8 @@ func (r *runner) results(horizon float64) *Results {
 	if horizon > 0 {
 		res.AvgPower = res.Energy / horizon
 		res.AvgStandbyDisks = standbyTime / horizon
+		res.CyclesPerDay = float64(res.SpinUps) * 86400 / (horizon * float64(r.cfg.NumDisks))
+		res.AFR = afrSum / float64(r.cfg.NumDisks)
 	}
 	if res.NoSavingEnergy > 0 {
 		res.PowerSavingRatio = 1 - res.Energy/res.NoSavingEnergy

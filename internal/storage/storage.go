@@ -49,6 +49,10 @@ type Config struct {
 	// spinning disks). Both fall back to any disk with space when no
 	// spinning disk fits.
 	WriteBestFit bool
+	// Reliability, when non-nil, enables wear-driven disk failures and
+	// rebuild traffic (see ReliabilityConfig). CyclesPerDay and AFR are
+	// reported for every run regardless.
+	Reliability *ReliabilityConfig
 }
 
 // Unplaced marks a file with no disk yet in an assignment: it must be
@@ -91,6 +95,11 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.CacheBytes < 0 {
 		return c, fmt.Errorf("storage: negative cache size %d", c.CacheBytes)
+	}
+	if c.Reliability != nil {
+		if err := c.Reliability.validate(c.NumDisks); err != nil {
+			return c, err
+		}
 	}
 	return c, nil
 }
@@ -148,6 +157,22 @@ type Results struct {
 	MigrationEnergy float64
 	MigratedFiles   int64
 	MigratedBytes   int64
+
+	// Reliability accounting. Failures, DataLossEvents, Rebuilds,
+	// RebuildTime (total seconds groups spent rebuilding — in-flight
+	// rebuilds charge their degraded time up to the horizon), and
+	// RebuildBytes are nonzero only with Config.Reliability set.
+	// CyclesPerDay (farm-average start/stop cycles per disk-day) and
+	// AFR (the wear model's annual failure rate extrapolated from each
+	// disk's observed duty cycle, farm-averaged) are modeled for every
+	// run so sweeps can select under a durability budget.
+	Failures       int
+	DataLossEvents int
+	Rebuilds       int
+	RebuildTime    float64
+	RebuildBytes   int64
+	CyclesPerDay   float64
+	AFR            float64
 
 	// Farm-level activity.
 	SpinUps, SpinDowns int

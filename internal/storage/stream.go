@@ -130,6 +130,14 @@ type Window struct {
 	MigrationEnergy float64
 	MigratedFiles   int64
 	MigratedBytes   int64
+	// Reliability accounting since the previous window (zero without
+	// Config.Reliability): disk failures detected, failures that struck
+	// an already-degraded group, rebuilds completed, and degraded time
+	// booked by those completions.
+	Failures       int
+	DataLossEvents int
+	Rebuilds       int
+	RebuildTime    float64
 }
 
 // Clone returns a deep copy of the window that shares no storage with
@@ -437,6 +445,12 @@ type machine struct {
 	doneFn  func(*disk.Request, sim.Time)
 	reqFree []*disk.Request
 	reqSlab []disk.Request
+
+	// Rebuild streams share the pool but complete through rebuildFn
+	// (m.onRebuildDone) with the job index in Tag; completions are
+	// recorded shard-locally in relFins and folded at boundaries.
+	rebuildFn func(*disk.Request, sim.Time)
+	relFins   []relFin
 }
 
 // reqSlabSize is the request-pool refill size; a refill covers one

@@ -1,0 +1,63 @@
+package diskpack
+
+import (
+	"diskpack/internal/disk"
+	"diskpack/internal/farm"
+	"diskpack/internal/policy"
+)
+
+// This file exports the reliability axis: the spin-cycle wear model
+// (internal/disk), the cycle-capped spin-down policy (internal/policy),
+// and the redundancy-group failure/rebuild machinery a FarmSpec opts
+// into through its Reliability field (internal/storage via
+// internal/farm). Failure schedules are pure functions of (spec, seed)
+// — byte-identical across repeats, worker counts, shards, and the
+// coordinator — and every run reports modeled duty figures
+// (CyclesPerDay, AFR) whether or not failures are injected.
+
+// Reliability types.
+type (
+	// FarmReliability opts a spec into failure injection: redundancy
+	// group size, rebuild volume, check cadence, and the wear model.
+	FarmReliability = farm.ReliabilitySpec
+	// WearParams parameterizes the spin-cycle wear model of a drive:
+	// rated start/stop cycles, spec-sheet AFR, and cycle wear.
+	WearParams = disk.WearParams
+	// CycleBudgetPolicy is a fixed-threshold spin-down policy that
+	// stops spinning down once its start/stop cycle allowance — so many
+	// cycles per disk-day — is spent.
+	CycleBudgetPolicy = policy.CycleBudget
+)
+
+// Spin-down policy kinds of the reliability axis (extending the kinds
+// in scenario.go).
+const (
+	// SpinTailAware is the tunable fixed-threshold policy the online
+	// control plane retunes between windows.
+	SpinTailAware = farm.SpinTailAware
+	// SpinCycleBudget is the cycle-capped policy: a fixed threshold
+	// that arms only while spin-down cycles remain in the budget.
+	SpinCycleBudget = farm.SpinCycleBudget
+)
+
+// SelectMinEnergySLOAFR picks the lowest-energy sweep point meeting
+// both the response-time SLO (Selector.MaxP95) and the annual-failure-
+// rate budget (Selector.MaxAFR).
+const SelectMinEnergySLOAFR = farm.SelectMinEnergySLOAFR
+
+// DefaultWearParams returns the wear model of the reference drive:
+// 50,000 rated start/stop cycles, 0.34% spec-sheet AFR.
+func DefaultWearParams() WearParams { return disk.DefaultWear() }
+
+// CycleCapSpinPolicy returns a cycle-capped spin-down spec: threshold
+// seconds of idleness (0 = the drive's break-even time) with at most
+// perDay spin-down cycles per disk-day.
+func CycleCapSpinPolicy(seconds, perDay float64) FarmSpin {
+	return farm.CycleCapSpin(seconds, perDay)
+}
+
+// NewCycleBudgetPolicy builds the cycle-capped policy directly for
+// simulator-level use (threshold 0 = the drive's break-even time).
+func NewCycleBudgetPolicy(p DiskParams, threshold, perDay float64) *CycleBudgetPolicy {
+	return policy.NewCycleBudget(p, threshold, perDay)
+}

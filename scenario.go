@@ -200,7 +200,8 @@ func DecodeSweepShardResult(r io.Reader) (*FarmShardResult, error) {
 func ParseSweepAxis(s string) (FarmAxis, error) { return farm.ParseAxis(s) }
 
 // ParseSweepSelector parses the selector grammar shared with
-// cmd/disksim's -select flag: "none", "knee", "pareto", "slo=SECONDS".
+// cmd/disksim's -select flag: "none", "knee", "pareto",
+// "slo=SECONDS[,afr=RATE]".
 func ParseSweepSelector(s string) (FarmSelector, error) { return farm.ParseSelector(s) }
 
 // EncodeFarmFile writes a scenario document (one Spec or one Sweep) as
