@@ -9,6 +9,7 @@ package diskpack
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"diskpack/internal/disk"
 	"diskpack/internal/exp"
 	"diskpack/internal/farm"
+	"diskpack/internal/obs"
 	"diskpack/internal/storage"
 	"diskpack/internal/trace"
 	"diskpack/internal/workload"
@@ -436,6 +438,64 @@ func BenchmarkMillionDiskEpochParallel(b *testing.B) {
 			b.ReportMetric(float64(nReqs*b.N)/b.Elapsed().Seconds(), "req/s")
 		})
 	}
+}
+
+// BenchmarkObsOverhead prices the observability layer on a windowed
+// mid-size run. The three legs share one spec: "off" is the bare run,
+// "nil-sink" installs a zero-value RunObserver (every tap fires, every
+// sink is nil — the disabled path must cost nothing, and the nil-sink
+// zero-alloc property is pinned exactly in internal/obs), and
+// "enabled" records the full trace, telemetry (to io.Discard), and
+// metrics registry, rebuilding the recorder each iteration so the
+// timeline does not accumulate across runs. The off↔nil-sink delta is
+// the price every un-instrumented run pays; off↔enabled is the price
+// of -trace-out/-telemetry-out.
+func BenchmarkObsOverhead(b *testing.B) {
+	wl := workload.DefaultSynthetic(6, 0)
+	wl.NumFiles = 4000
+	wl.MinSize /= 10
+	wl.MaxSize /= 10
+	spec := farm.Spec{
+		Name:     "bench-obs",
+		FarmSize: 40,
+		Workload: farm.SyntheticWorkload(wl),
+		Alloc:    farm.Packed(0.7),
+		Spin:     farm.SpinSpec{Kind: farm.SpinBreakEven},
+	}
+	runOnce := func(b *testing.B) {
+		if _, err := farm.RunStream(spec, 1, 400, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b)
+		}
+	})
+	b.Run("nil-sink", func(b *testing.B) {
+		prev := farm.SetRunObserver(&obs.RunObserver{})
+		defer farm.SetRunObserver(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce(b)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := obs.NewTraceRecorder()
+			tw := obs.NewTelemetryWriter(io.Discard)
+			prev := farm.SetRunObserver(&obs.RunObserver{
+				Trace:     rec,
+				Telemetry: tw,
+				Metrics:   obs.NewRunMetrics(obs.NewRegistry(), farm.RespBuckets()),
+			})
+			runOnce(b)
+			farm.SetRunObserver(prev)
+		}
+	})
 }
 
 // packingInstance builds the skewed instance used by the complexity

@@ -118,7 +118,10 @@ func main() {
 // run is the whole CLI behind a testable seam: it parses args, writes
 // human output to out, and returns an error instead of exiting — every
 // failure path, flag parsing included, becomes a non-zero exit in main.
-func run(args []string, out io.Writer) error {
+// The return is named so the deferred observability stop — which
+// renders the trace file and flushes the telemetry log — can fail the
+// run when a sink write fails.
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("disksim", flag.ContinueOnError)
 	var sweeps axisFlags
 	var (
@@ -156,6 +159,9 @@ func run(args []string, out io.Writer) error {
 		cycleCap    = fs.Float64("cycle-cap", 0, "spin-down cycles per disk-day: caps the base spin policy (with -control tail-budget, the controller's cycle budget)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write a heap profile to FILE at exit (go tool pprof)")
+		traceOut    = fs.String("trace-out", "", "write a single run's state timeline as Chrome-trace JSON to FILE (load in Perfetto)")
+		telemOut    = fs.String("telemetry-out", "", "write a single run's per-window telemetry as JSONL to FILE")
+		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus /metrics and /debug/pprof on ADDR (e.g. :9100) for the life of the run")
 		verbose     = fs.Bool("v", false, "per-disk breakdown")
 	)
 	fs.Var(&sweeps, "sweep", "sweep axis dim=v1,v2,... (repeatable; dims: threshold, farm, cache, L, v, rate, alloc, seed, control)")
@@ -188,10 +194,11 @@ func run(args []string, out io.Writer) error {
 	// instead.
 	onlyFlags := func(mode, reason string, allowed ...string) error {
 		// Profiling composes with every mode — a worker or a merge is
-		// as legitimate a profile target as a plain run. So does
-		// -sim-workers: it only shards the simulations the mode runs,
-		// never what they compute.
-		ok := map[string]bool{mode: true, "cpuprofile": true, "memprofile": true, "sim-workers": true}
+		// as legitimate a profile target as a plain run. So do
+		// -sim-workers (it only shards the simulations the mode runs,
+		// never what they compute) and -metrics-addr (live metrics
+		// observe whatever the mode executes).
+		ok := map[string]bool{mode: true, "cpuprofile": true, "memprofile": true, "sim-workers": true, "metrics-addr": true}
 		for _, a := range allowed {
 			ok[a] = true
 		}
@@ -207,9 +214,11 @@ func run(args []string, out io.Writer) error {
 	// the deferred stop flushes on every return path out of run(),
 	// which includes the graceful-SIGINT returns of -serve/-work/
 	// -run-shard (interruptContext turns the signal into a normal
-	// return). Modes without that machinery get a flush-and-exit
-	// handler from startProfiles itself.
-	gracefulMode := *serveAddr != "" || *workURL != "" || *runShard != ""
+	// return) and of obs-file runs (startObs turns the signal into a
+	// window-boundary abort). Modes without that machinery get a
+	// flush-and-exit handler from startProfiles itself.
+	obsFiles := *traceOut != "" || *telemOut != ""
+	gracefulMode := *serveAddr != "" || *workURL != "" || *runShard != "" || obsFiles
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, gracefulMode)
 	if err != nil {
 		return err
@@ -334,6 +343,38 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-shards and -spec-out both write files and exit: pick one")
 	}
 
+	// The trace and telemetry sinks record exactly one run; the
+	// multi-run and write-and-exit modes must reject them loudly (the
+	// onlyFlags modes — -work, -run-shard, -merge, -scenarios —
+	// already did above; grids are rejected at hasGrid below).
+	if obsFiles {
+		for _, conflict := range []struct {
+			set  bool
+			name string
+		}{
+			{*serveAddr != "", "serve"},
+			{*specOut != "", "spec-out"},
+			{*shards > 0, "shards"},
+		} {
+			if conflict.set {
+				return fmt.Errorf("-trace-out/-telemetry-out record a single run: they cannot be combined with -%s", conflict.name)
+			}
+		}
+	}
+	// Observability starts before mode dispatch — like profiling — so
+	// -metrics-addr serves whatever the mode runs; the deferred stop
+	// renders the trace file and flushes the telemetry log on every
+	// return path, the SIGINT abort included.
+	ob, err := startObs(*traceOut, *telemOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := ob.stop(); serr != nil && retErr == nil {
+			retErr = serr
+		}
+	}()
+
 	controlFlags := *controlName != "" || wasSet("epoch") || wasSet("budget")
 	relFlags := wasSet("afr-budget") || wasSet("cycle-cap")
 	if wasSet("afr-budget") && !(*afrBudget > 0 && *afrBudget < 1) {
@@ -369,7 +410,13 @@ func run(args []string, out io.Writer) error {
 			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *verbose)
 		}
 		if doc.Sweep != nil {
+			if obsFiles {
+				return fmt.Errorf("-trace-out/-telemetry-out record a single run: %s holds a Sweep, not a Spec", *specIn)
+			}
 			return runSweep(out, *doc.Sweep, *seed, *workers, *verbose)
+		}
+		if obsFiles {
+			return runObserved(out, ob, *doc.Spec, *seed, "", *verbose)
 		}
 		m, err := farm.Run(*doc.Spec, *seed)
 		if err != nil {
@@ -405,12 +452,25 @@ func run(args []string, out io.Writer) error {
 			if sc.Spec.Control != nil {
 				// Controlled scenarios run through the control plane so
 				// the report carries the telemetry windows.
+				if err := ob.beginRun(sc.Spec, *seed); err != nil {
+					return err
+				}
 				res, err := control.RunSpec(sc.Spec, *seed)
 				if err != nil {
-					return err
+					return ob.runErr(err)
 				}
 				printControlled(out, res, sc.Spec.CacheBytes > 0, *verbose)
 				return nil
+			}
+			if obsFiles {
+				if sc.Sweep != nil {
+					return fmt.Errorf("-trace-out/-telemetry-out record a single run: scenario %s sweeps thresholds (run its chosen operating point as a -spec)", sc.Name)
+				}
+				// The file sinks need epoch windows to exist, so the
+				// open-loop run streams instead (byte-identical results;
+				// the report is the unified metrics form).
+				fmt.Fprintf(out, "scenario %s — %s\n\n", sc.Name, sc.Doc)
+				return runObserved(out, ob, sc.Spec, *seed, "", *verbose)
 			}
 			res, err := farm.RunScenario(*scenario, *seed)
 			if err != nil {
@@ -570,6 +630,9 @@ func run(args []string, out io.Writer) error {
 	if selector.Kind != farm.SelectNone && !hasGrid {
 		return fmt.Errorf("-select needs a grid: add at least one -sweep axis")
 	}
+	if obsFiles && hasGrid {
+		return fmt.Errorf("-trace-out/-telemetry-out record a single run: drop the -sweep axes (or run one grid point as a -spec)")
+	}
 	if *shards > 0 {
 		if !hasGrid {
 			return fmt.Errorf("-shards needs a grid: add -sweep axes or use a sweep scenario/spec")
@@ -610,22 +673,28 @@ func run(args []string, out io.Writer) error {
 		return runSweep(out, mkSweep(), *seed, *workers, *verbose)
 	}
 	if base.Control != nil {
+		if err := ob.beginRun(base, *seed); err != nil {
+			return err
+		}
 		res, err := control.RunSpec(base, *seed)
 		if err != nil {
-			return err
+			return ob.runErr(err)
 		}
 		printControlled(out, res, base.CacheBytes > 0, *verbose)
 		return nil
-	}
-	m, err := farm.Run(base, *seed)
-	if err != nil {
-		return err
 	}
 	// The threshold header is the ad-hoc flag's echo; scenario-based
 	// bases carry their policy in the spec.
 	thr := ""
 	if *tracePath != "" {
 		thr = *threshold
+	}
+	if obsFiles {
+		return runObserved(out, ob, base, *seed, thr, *verbose)
+	}
+	m, err := farm.Run(base, *seed)
+	if err != nil {
+		return err
 	}
 	printMetrics(out, m, thr, base.CacheBytes > 0, *verbose)
 	return nil

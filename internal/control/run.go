@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"diskpack/internal/farm"
+	"diskpack/internal/obs"
 	"diskpack/internal/reorg"
 )
 
@@ -92,6 +93,7 @@ func RunSpec(spec farm.Spec, seed int64) (*Result, error) {
 			}
 			applied.Window = w.Index
 			res.Actions = append(res.Actions, applied)
+			observeAction(w, applied)
 		}
 		return nil
 	})
@@ -100,6 +102,30 @@ func RunSpec(spec farm.Spec, seed int64) (*Result, error) {
 	}
 	res.Metrics = m
 	return res, nil
+}
+
+// observeAction publishes one controller decision to the installed
+// observability sinks (observation only — the action log itself is
+// the source of truth).
+func observeAction(w *farm.Window, applied AppliedAction) {
+	o := farm.CurrentRunObserver()
+	if o == nil {
+		return
+	}
+	if applied.Applied && o.Metrics != nil {
+		o.Metrics.Actuations.Inc()
+	}
+	if o.Trace != nil {
+		o.Trace.Emit(obs.TraceEvent{
+			Phase: 'i', Track: "control",
+			Name: applied.Action.Kind.String(), At: w.End,
+			Args: map[string]any{
+				"window":  applied.Window,
+				"applied": applied.Applied,
+				"note":    applied.Note,
+			},
+		})
+	}
 }
 
 // apply actuates one controller action. Soft failures — a threshold on

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"diskpack/internal/farm"
+	"diskpack/internal/obs"
 )
 
 // Defaults for the zero Config values.
@@ -176,8 +177,14 @@ type (
 	// Status is the GET /v1/status response: queue counters plus the
 	// adaptive-batch observables (EwmaPointSeconds is 0 until the
 	// first submission lands; Batch is the current lease cap).
+	// Expired counts leases that timed out and were stolen by another
+	// worker; Duplicates counts submissions of already-done points —
+	// both benign by design, but a climbing rate is the first sign of
+	// a stuck or thrashing pool, so they are surfaced here and on
+	// /metrics rather than swallowed.
 	Status struct {
 		Total, Done, Leased, Pending, Recovered int
+		Expired, Duplicates                     int
 		EwmaPointSeconds                        float64
 		Batch                                   int
 	}
@@ -229,6 +236,19 @@ type Coordinator struct {
 
 	// now is the clock, a test seam.
 	now func() time.Time
+
+	// Protocol metrics, served at GET /metrics in Prometheus text
+	// format. Per-worker counters make a stuck worker visible without
+	// a journal autopsy: its leases climb while its submits do not.
+	reg         *obs.Registry
+	mLeases     *obs.CounterVec
+	mExpired    *obs.CounterVec
+	mSubmits    *obs.CounterVec
+	mDuplicates *obs.CounterVec
+	gDone       *obs.Gauge
+	gLeased     *obs.Gauge
+	gPending    *obs.Gauge
+	gEwma       *obs.Gauge
 }
 
 // New compiles the sweep and builds the point queue, recovering any
@@ -255,7 +275,16 @@ func New(sweep farm.Sweep, seed int64, cfg Config) (*Coordinator, error) {
 		pending: comp.NumPoints(),
 		done:    make(chan struct{}),
 		now:     time.Now,
+		reg:     obs.NewRegistry(),
 	}
+	co.mLeases = co.reg.NewCounterVec("coord_leases_total", "points leased, by worker", "worker")
+	co.mExpired = co.reg.NewCounterVec("coord_lease_expiries_total", "leases that expired and were stolen, by the worker that lost them", "worker")
+	co.mSubmits = co.reg.NewCounterVec("coord_submits_total", "points accepted, by worker", "worker")
+	co.mDuplicates = co.reg.NewCounterVec("coord_duplicate_submits_total", "submissions of already-done points, by worker", "worker")
+	co.gDone = co.reg.NewGauge("coord_points_done", "points completed")
+	co.gLeased = co.reg.NewGauge("coord_points_leased", "points under a live lease")
+	co.gPending = co.reg.NewGauge("coord_points_pending", "points waiting for a lease")
+	co.gEwma = co.reg.NewGauge("coord_point_seconds_ewma", "EWMA of observed per-point wall seconds")
 	if cfg.JournalPath != "" {
 		journal, points, err := farm.OpenPointJournal(cfg.JournalPath, sweep, seed)
 		if err != nil {
@@ -300,6 +329,8 @@ func (co *Coordinator) statusLocked() Status {
 	s := Status{
 		Total:            len(co.state),
 		Recovered:        co.recovered,
+		Expired:          int(co.mExpired.Total()),
+		Duplicates:       int(co.mDuplicates.Total()),
 		EwmaPointSeconds: co.ewmaSec,
 		Batch:            co.batchLocked(),
 	}
@@ -375,6 +406,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/submit", co.handleSubmit)
 	mux.HandleFunc("POST /v1/fail", co.handleFail)
 	mux.HandleFunc("GET /v1/status", co.handleStatus)
+	mux.HandleFunc("GET /metrics", co.handleMetrics)
 	if co.cfg.Token == "" {
 		return mux
 	}
@@ -404,6 +436,19 @@ func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, co.Status())
+}
+
+// handleMetrics serves the protocol counters in Prometheus text
+// format. Queue-shape gauges are set at scrape time from the same
+// snapshot /v1/status reads, so the two views always agree.
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := co.Status()
+	co.gDone.Set(float64(st.Done))
+	co.gLeased.Set(float64(st.Leased))
+	co.gPending.Set(float64(st.Pending))
+	co.gEwma.Set(st.EwmaPointSeconds)
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	co.reg.WritePrometheus(w)
 }
 
 // batchLocked returns the current lease cap: BatchSize, shrunk — when
@@ -450,7 +495,14 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		// Pending, or an expired lease: hand it out (again). Work is
-		// stolen, not reassigned — whoever asks first gets it.
+		// stolen, not reassigned — whoever asks first gets it. The
+		// expiry is charged to the worker that lost the point (this is
+		// the one place expiry is observable — a lease that expires and
+		// is then submitted anyway was never stolen).
+		if s.status == statusLeased {
+			co.mExpired.With(s.worker).Inc()
+		}
+		co.mLeases.With(req.Worker).Inc()
 		s.status = statusLeased
 		s.worker = req.Worker
 		s.deadline = now.Add(co.cfg.LeaseTimeout)
@@ -509,6 +561,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if co.state[req.Point.Index].status == statusDone {
 		// First write won. Any duplicate is byte-equal anyway (points
 		// are pure functions of spec and seed), so discarding is safe.
+		co.mDuplicates.With(req.Worker).Inc()
 		resp := SubmitResponse{Duplicate: true, Done: co.pending == 0}
 		co.mu.Unlock()
 		writeJSON(w, resp)
@@ -551,6 +604,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s := &co.state[req.Point.Index]
 	if s.status == statusDone {
 		// Another submit of the same point won the fsync race.
+		co.mDuplicates.With(req.Worker).Inc()
 		writeJSON(w, SubmitResponse{Duplicate: true, Done: co.pending == 0})
 		return
 	}
@@ -569,6 +623,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.status = statusDone
 	s.worker = req.Worker
+	co.mSubmits.With(req.Worker).Inc()
 	co.results[req.Point.Index] = req.Point
 	co.pending--
 	if co.pending == 0 {

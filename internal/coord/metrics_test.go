@@ -1,0 +1,120 @@
+package coord
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"diskpack/internal/farm"
+)
+
+// TestMetricsEndpoint pins the coordinator's observability satellite:
+// lease expiries and duplicate submissions are counted per worker,
+// surfaced both in Status and on the /metrics exposition endpoint,
+// alongside the live queue-shape gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	sweep := fixtureSweep()
+	co, err := New(sweep, 9, Config{LeaseTimeout: MinLeaseTimeout, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Now()
+	co.now = func() time.Time { return clock }
+	srv := startServer(t, co)
+
+	// "doomed" leases two points and is never heard from again; after
+	// the lease expires, "healthy" steals both — the expiry is charged
+	// to the worker that lost the points.
+	var doomed LeaseResponse
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "doomed", Max: 2}, &doomed)
+	if len(doomed.Points) != 2 {
+		t.Fatalf("leased %d points, want 2", len(doomed.Points))
+	}
+	clock = clock.Add(MinLeaseTimeout + time.Second)
+	var healthy LeaseResponse
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "healthy", Max: 2}, &healthy)
+	if len(healthy.Points) != 2 {
+		t.Fatalf("steal leased %d points, want 2", len(healthy.Points))
+	}
+
+	// One point submitted twice: the second copy is a counted
+	// duplicate.
+	comp, err := farm.Compile(sweep, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := comp.RunPoint(healthy.Points[0].Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, srv.URL+"/v1/submit", SubmitRequest{Worker: "healthy", Point: pr}, nil)
+	postJSON(t, srv.URL+"/v1/submit", SubmitRequest{Worker: "late", Point: pr}, nil)
+
+	st := co.Status()
+	if st.Expired != 2 {
+		t.Errorf("Status.Expired = %d, want 2", st.Expired)
+	}
+	if st.Duplicates != 1 {
+		t.Errorf("Status.Duplicates = %d, want 1", st.Duplicates)
+	}
+	if st.Done != 1 {
+		t.Errorf("Status.Done = %d, want 1", st.Done)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`coord_lease_expiries_total{worker="doomed"} 2`,
+		`coord_leases_total{worker="doomed"} 2`,
+		`coord_leases_total{worker="healthy"} 2`,
+		`coord_duplicate_submits_total{worker="late"} 1`,
+		`coord_submits_total{worker="healthy"} 1`,
+		`coord_points_done 1`,
+		`coord_points_leased 1`,
+		`coord_points_pending 4`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsAuth pins that /metrics sits behind the same token wall
+// as the protocol endpoints.
+func TestMetricsAuth(t *testing.T) {
+	co, err := New(fixtureSweep(), 9, Config{Token: "sekrit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, co)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated /metrics got %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Authorization", "Bearer sekrit")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("authenticated /metrics got %d, want 200", resp2.StatusCode)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diskpack/internal/farm"
@@ -88,6 +89,11 @@ type WorkStats struct {
 	// (duplicates the coordinator discarded included — they were real
 	// work here).
 	Points int
+	// Retries counts protocol requests that had to be re-sent after a
+	// transient failure (network error or coordinator 5xx). Zero on a
+	// healthy pool; a climbing count is the first symptom of a flaky
+	// link or an overloaded coordinator.
+	Retries int
 }
 
 // Work joins the coordinator at baseURL and pulls until the grid is
@@ -121,6 +127,7 @@ func Work(ctx context.Context, baseURL string, cfg WorkerConfig) (WorkStats, err
 		return stats, fmt.Errorf("coord: worker %s compiling served sweep: %w", cfg.Name, err)
 	}
 	stats.Points, err = w.pump(ctx, comp)
+	stats.Retries = int(w.retries.Load())
 	return stats, err
 }
 
@@ -129,6 +136,9 @@ type worker struct {
 	cfg    WorkerConfig
 	base   string
 	client *http.Client
+	// retries counts re-sent protocol requests across every slot
+	// (atomic — slots call concurrently); surfaced as WorkStats.Retries.
+	retries atomic.Int64
 	// draining, when non-nil, reports that the grid is known drained;
 	// call() then stops retrying transient failures — the coordinator
 	// shutting down after its linger window is the expected reason for
@@ -391,6 +401,7 @@ func (w *worker) call(ctx context.Context, method, path string, in, out any) err
 		if serr := sleep(ctx, backoff); serr != nil {
 			return serr
 		}
+		w.retries.Add(1)
 		if backoff *= 2; backoff > 2*time.Second {
 			backoff = 2 * time.Second
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"diskpack/internal/obs"
 	"diskpack/internal/sim"
 )
 
@@ -281,6 +282,11 @@ type Disk struct {
 	bytesRead int64
 	peakQueue int
 	finalized bool
+
+	// rec, when non-nil, receives every state transition (observation
+	// only — tracing never alters behaviour). The nil check is the
+	// entire disabled-path cost.
+	rec *obs.TraceRecorder
 }
 
 // New returns a disk in the Idle (spinning) state with its idleness
@@ -317,6 +323,26 @@ func NewWithPolicy(env *sim.Env, id int, params Params, pol SpinPolicy) *Disk {
 	}
 	d.armIdleTimer()
 	return d
+}
+
+// SetRecorder attaches a state-timeline recorder (nil detaches). The
+// disk's current state is recorded as the timeline's opening segment,
+// so attach at construction time, before any simulated time passes.
+func (d *Disk) SetRecorder(r *obs.TraceRecorder) {
+	d.rec = r
+	if r != nil {
+		r.StateChange(d.ID, float64(d.env.Now()), int(d.state))
+	}
+}
+
+// StateNames returns the State display names indexed by state value
+// (the vocabulary trace timelines are rendered with).
+func StateNames() []string {
+	names := make([]string, numStates)
+	for s := State(0); s < numStates; s++ {
+		names[s] = s.String()
+	}
+	return names
 }
 
 // Params returns the drive parameters.
@@ -393,6 +419,9 @@ func (d *Disk) transition(s State) {
 	dt := now - d.lastChange
 	d.energy += d.params.Power(d.state) * dt
 	d.stateDur[d.state] += dt
+	if d.rec != nil && s != d.state {
+		d.rec.StateChange(d.ID, float64(now), int(s))
+	}
 	d.state = s
 	d.lastChange = now
 }

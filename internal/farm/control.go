@@ -251,6 +251,7 @@ func RunStream(spec Spec, seed int64, epoch float64, sink StreamSink) (*Metrics,
 		CacheBytes:    spec.CacheBytes,
 		WriteBestFit:  spec.WriteBestFit,
 		Reliability:   spec.reliabilityConfig(seed),
+		Obs:           CurrentRunObserver(),
 	}, storage.StreamConfig{
 		Epoch:   epoch,
 		GroupOf: groupOf,

@@ -1,0 +1,26 @@
+package farm
+
+import (
+	"sync/atomic"
+
+	"diskpack/internal/obs"
+)
+
+// runObserver is the process-wide observability sink Run / RunStream
+// wire into the storage kernel (same plumbing-not-policy shape as
+// simWorkers: results are byte-identical with or without it). The CLI
+// installs one when -trace-out / -telemetry-out / -metrics-addr are
+// set; the default nil costs a pointer test per run.
+var runObserver atomic.Pointer[obs.RunObserver]
+
+// SetRunObserver installs the process-wide run observer (nil
+// disables) and returns the previous one for defer-restore.
+func SetRunObserver(o *obs.RunObserver) *obs.RunObserver {
+	return runObserver.Swap(o)
+}
+
+// CurrentRunObserver returns the installed run observer (nil when
+// observability is off).
+func CurrentRunObserver() *obs.RunObserver {
+	return runObserver.Load()
+}

@@ -357,6 +357,7 @@ func Run(spec Spec, seed int64) (*Metrics, error) {
 		CacheBytes:    spec.CacheBytes,
 		WriteBestFit:  spec.WriteBestFit,
 		Reliability:   spec.reliabilityConfig(seed),
+		Obs:           CurrentRunObserver(),
 	}, storage.ParallelConfig{Workers: SimWorkers(), Label: spec.Name})
 	if err != nil {
 		return nil, fmt.Errorf("farm %s: simulation: %w", spec.Name, err)

@@ -72,6 +72,12 @@ func (c *CompiledSweep) RunPoint(i int) (ShardPointResult, error) {
 	if err != nil {
 		return ShardPointResult{}, err
 	}
+	// Every executor — in-process pool, shard runner, coordinator
+	// worker — funnels through here, so this is the one place sweep
+	// progress is counted.
+	if o := CurrentRunObserver(); o != nil && o.Metrics != nil {
+		o.Metrics.SweepPoints.Inc()
+	}
 	return res, nil
 }
 

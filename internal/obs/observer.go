@@ -1,0 +1,89 @@
+package obs
+
+import "errors"
+
+// RunObserver bundles the observability sinks one simulation run
+// publishes into. Any field may be nil — producers guard with nil
+// checks (all sink methods are additionally nil-receiver-safe), so a
+// nil *RunObserver, or one with no sinks, costs a pointer test on the
+// hot path and nothing else.
+type RunObserver struct {
+	// Trace records per-disk state timelines and run-level events.
+	Trace *TraceRecorder
+	// Telemetry streams per-window records as JSONL.
+	Telemetry *TelemetryWriter
+	// Metrics is the live registry bundle (served at /metrics).
+	Metrics *RunMetrics
+	// Interrupt, when non-nil, is polled at window boundaries; a true
+	// return aborts the run with ErrInterrupted so partial trace and
+	// telemetry output can be flushed cleanly.
+	Interrupt func() bool
+}
+
+// Interrupted reports whether the observer requests an abort. Safe on
+// a nil receiver.
+func (o *RunObserver) Interrupted() bool {
+	return o != nil && o.Interrupt != nil && o.Interrupt()
+}
+
+// ErrInterrupted is the sentinel a run aborts with when
+// RunObserver.Interrupt fires (errors.Is-matchable through the
+// wrapping layers).
+var ErrInterrupted = errors.New("interrupted by signal")
+
+// RunMetrics is the standard registry bundle a simulation run
+// publishes into; gauges snapshot the latest window, counters
+// accumulate across the run (and across every point of a sweep). The
+// zero value (or nil) is the disabled sink.
+type RunMetrics struct {
+	// Progress: windows closed, simulated seconds reached, and total
+	// simulator events fired.
+	Windows    *Counter
+	SimSeconds *Gauge
+	SimEvents  *Gauge
+	// Workload: requests dispatched and completed.
+	Arrivals    *Counter
+	Completions *Counter
+	// Spin activity and energy.
+	SpinUps      *Counter
+	SpinDowns    *Counter
+	EnergyJoules *Gauge
+	PowerWatts   *Gauge
+	StandbyDisks *Gauge
+	// Response-time tail: last window's p95 and the exact full-run
+	// histogram.
+	RespP95 *Gauge
+	Resp    *Histogram
+	// Control and sweep activity.
+	Actuations    *Counter
+	MigratedFiles *Counter
+	SweepPoints   *Counter
+	// Reliability activity.
+	Failures *Counter
+	Rebuilds *Counter
+}
+
+// NewRunMetrics registers the standard run metrics on reg;
+// respBuckets are the response-histogram bucket bounds (storage's
+// RespBuckets). On a nil registry every field is a nil no-op metric.
+func NewRunMetrics(reg *Registry, respBuckets []float64) *RunMetrics {
+	return &RunMetrics{
+		Windows:       reg.NewCounter("disksim_windows_total", "telemetry windows closed"),
+		SimSeconds:    reg.NewGauge("disksim_sim_seconds", "simulated time reached, seconds"),
+		SimEvents:     reg.NewGauge("disksim_sim_events", "simulator events fired"),
+		Arrivals:      reg.NewCounter("disksim_arrivals_total", "requests dispatched to disks"),
+		Completions:   reg.NewCounter("disksim_completions_total", "requests completed"),
+		SpinUps:       reg.NewCounter("disksim_spin_ups_total", "disk spin-up transitions"),
+		SpinDowns:     reg.NewCounter("disksim_spin_downs_total", "disk spin-down transitions"),
+		EnergyJoules:  reg.NewGauge("disksim_energy_joules", "cumulative farm energy, joules"),
+		PowerWatts:    reg.NewGauge("disksim_power_watts", "mean farm power over the last window, watts"),
+		StandbyDisks:  reg.NewGauge("disksim_standby_disks", "mean disks in standby over the last window"),
+		RespP95:       reg.NewGauge("disksim_resp_p95_seconds", "p95 response time of the last window, seconds"),
+		Resp:          reg.NewHistogram("disksim_resp_seconds", "response-time distribution, seconds", respBuckets),
+		Actuations:    reg.NewCounter("disksim_control_actuations_total", "controller actions applied"),
+		MigratedFiles: reg.NewCounter("disksim_migrated_files_total", "files migrated by reallocation"),
+		SweepPoints:   reg.NewCounter("disksim_sweep_points_total", "sweep points completed"),
+		Failures:      reg.NewCounter("disksim_disk_failures_total", "disk failures injected"),
+		Rebuilds:      reg.NewCounter("disksim_rebuilds_total", "group rebuilds completed"),
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Per-window telemetry as schema-versioned JSONL: line 1 is a
+// TelemetryHeader identifying the schema, the run, and the histogram
+// bucket layouts; every further line is one TelemetryWindow, in window
+// order. The record types deliberately mirror storage's Window /
+// GroupWindow schema without importing it (this package sits below
+// storage), and producers convert at the boundary. Consumers parse
+// with ReadTelemetry, which enforces the schema and version so a
+// format change can never be misread silently.
+
+// TelemetrySchema identifies the stream format in the header line.
+const TelemetrySchema = "diskpack-telemetry"
+
+// TelemetryVersion is the current schema version. Bump on any
+// incompatible record change.
+const TelemetryVersion = 1
+
+// TelemetryHeader is the first JSONL line: run identity plus the
+// bucket bounds the per-window histograms use.
+type TelemetryHeader struct {
+	// Schema is always TelemetrySchema.
+	Schema string
+	// Version is the schema version (TelemetryVersion).
+	Version int
+	// Spec names the scenario or spec the run executed.
+	Spec string
+	// Seed is the run seed.
+	Seed int64
+	// Epoch is the window length in simulated seconds.
+	Epoch float64
+	// IdleGapBuckets and RespBuckets are the histogram bucket upper
+	// bounds (each histogram carries one extra overflow bucket).
+	IdleGapBuckets []float64
+	RespBuckets    []float64
+}
+
+// TelemetryGroup is one disk group's share of a telemetry window
+// (mirrors storage.GroupWindow; Group -1 is the farm-wide total).
+type TelemetryGroup struct {
+	Group     int
+	Disks     int
+	Arrivals  int64
+	Completed int64
+	// Response-time stats over the window's completions, seconds.
+	RespMean, RespP50, RespP95, RespP99, RespMax float64
+	// Energy in joules; spin transitions; standby disk-seconds.
+	Energy      float64
+	SpinUps     int
+	SpinDowns   int
+	StandbyTime float64
+	// Threshold is the group's spin-down threshold at the boundary
+	// (zero when not tunable).
+	Threshold float64
+	// Histogram counts (bounds in the header, plus overflow).
+	IdleGaps []int64
+	RespHist []int64
+}
+
+// TelemetryWindow is one per-window JSONL record (mirrors
+// storage.Window).
+type TelemetryWindow struct {
+	Index      int
+	Start, End float64
+	Final      bool
+	Total      TelemetryGroup
+	Groups     []TelemetryGroup
+	// Cache, migration, and reliability activity during the window.
+	CacheHits       int64
+	CacheMisses     int64
+	MigrationEnergy float64
+	MigratedFiles   int64
+	MigratedBytes   int64
+	Failures        int
+	DataLossEvents  int
+	Rebuilds        int
+	RebuildTime     float64
+}
+
+// TelemetryWriter streams header and window records as JSONL. It is
+// safe for concurrent use and safe on a nil receiver (records
+// nothing), and Close is idempotent — the CLI closes it both on the
+// normal path and from the SIGINT path.
+type TelemetryWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	c      io.Closer
+	closed bool
+}
+
+// NewTelemetryWriter wraps w; if w is also an io.Closer, Close closes
+// it after flushing.
+func NewTelemetryWriter(w io.Writer) *TelemetryWriter {
+	t := &TelemetryWriter{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// WriteHeader writes the schema header line, filling Schema and
+// Version. No-op on nil.
+func (t *TelemetryWriter) WriteHeader(h TelemetryHeader) error {
+	if t == nil {
+		return nil
+	}
+	h.Schema = TelemetrySchema
+	h.Version = TelemetryVersion
+	return t.writeLine(&h)
+}
+
+// WriteWindow writes one window record line. No-op on nil (by-pointer
+// so the disabled path does not copy — or heap-escape — the record).
+func (t *TelemetryWriter) WriteWindow(w *TelemetryWindow) error {
+	if t == nil || w == nil {
+		return nil
+	}
+	return t.writeLine(w)
+}
+
+func (t *TelemetryWriter) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("obs: telemetry writer closed")
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		return err
+	}
+	return t.bw.WriteByte('\n')
+}
+
+// Close flushes buffered records and closes the underlying writer if
+// it is closable. Safe on nil; calling twice returns nil the second
+// time.
+func (t *TelemetryWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.bw.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadTelemetry parses a telemetry JSONL stream, enforcing the schema
+// name and version in the header line.
+func ReadTelemetry(r io.Reader) (*TelemetryHeader, []TelemetryWindow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("obs: empty telemetry stream")
+	}
+	var h TelemetryHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, nil, fmt.Errorf("obs: telemetry header: %w", err)
+	}
+	if h.Schema != TelemetrySchema {
+		return nil, nil, fmt.Errorf("obs: telemetry schema %q, want %q", h.Schema, TelemetrySchema)
+	}
+	if h.Version != TelemetryVersion {
+		return nil, nil, fmt.Errorf("obs: telemetry version %d, reader understands %d", h.Version, TelemetryVersion)
+	}
+	var ws []TelemetryWindow
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var w TelemetryWindow
+		if err := json.Unmarshal(sc.Bytes(), &w); err != nil {
+			return nil, nil, fmt.Errorf("obs: telemetry window %d: %w", len(ws), err)
+		}
+		ws = append(ws, w)
+	}
+	return &h, ws, sc.Err()
+}

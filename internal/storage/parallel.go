@@ -316,6 +316,9 @@ func newRunner(tr *trace.Trace, assign []int, cfg Config, sc *StreamConfig, par 
 			m.diskID = append(m.diskID, d)
 		}
 	}
+	// Observability attaches before any simulated time passes, so each
+	// disk's timeline opens with its construction-time Idle segment.
+	r.attachObs()
 	// Every shard reserves FIFO positions for the FULL trace after its
 	// construction-time timers, mirroring the sequential machine:
 	// request i occupies rank arrSeq+i on whichever shard owns it, so
@@ -592,6 +595,12 @@ func (r *runner) run() (*Results, error) {
 					return nil, err
 				}
 			}
+			// Publish to observability sinks after the observer ran (so
+			// tunable thresholds are filled) and before the reset below
+			// reclaims the accumulators.
+			if err := r.observeWindow(w); err != nil {
+				return nil, err
+			}
 			// Reset per-window accumulators only after assembly consumed
 			// the raw response samples for the Total merge.
 			for _, m := range r.shards {
@@ -608,6 +617,11 @@ func (r *runner) run() (*Results, error) {
 		}
 		if final {
 			break
+		}
+		// SIGINT lands here: boundaries are the only safe abort points
+		// (every shard parked, telemetry flushed through this window).
+		if err := r.checkInterrupt(end); err != nil {
+			return nil, err
 		}
 	}
 	r.advanceAll(shardStep{end: sim.Time(horizon), finalize: true})
@@ -715,6 +729,7 @@ func (r *runner) results(horizon float64) *Results {
 		res.CacheHits, res.CacheMisses = s.Hits, s.Misses
 		res.CacheHitRatio = r.lru.HitRatio()
 	}
+	r.observeFinal(res, horizon)
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"diskpack/internal/disk"
+	"diskpack/internal/obs"
 	"diskpack/internal/sim"
 )
 
@@ -178,6 +179,13 @@ func (r *runner) foldRebuildFins() {
 			rel.rebuilds++
 			rel.rebuildTime += job.lastDone - job.failAt
 			rel.rebuilding[job.group]--
+			if o := r.cfg.Obs; o != nil && o.Trace != nil {
+				o.Trace.Emit(obs.TraceEvent{
+					Phase: 'X', Track: "reliability",
+					Name: fmt.Sprintf("rebuild group %d", job.group),
+					At:   job.failAt, Dur: job.lastDone - job.failAt,
+				})
+			}
 		}
 	}
 }
@@ -211,8 +219,16 @@ func (r *runner) failDisk(d int, now, hazard float64) {
 	rel.failures++
 	rel.fp[d].Replace(hazard)
 	g := rel.groupOf[d]
-	if rel.rebuilding[g] > 0 {
+	dataLoss := rel.rebuilding[g] > 0
+	if dataLoss {
 		rel.dataLoss++
+	}
+	if o := r.cfg.Obs; o != nil && o.Trace != nil {
+		o.Trace.Emit(obs.TraceEvent{
+			Phase: 'i', Track: "reliability",
+			Name: fmt.Sprintf("disk %d failed", d), At: now,
+			Args: map[string]any{"group": g, "dataLoss": dataLoss},
+		})
 	}
 	vol := rel.cfg.RebuildBytes
 	if vol == 0 {
@@ -283,6 +299,13 @@ func (r *runner) finishReliability(horizon float64) {
 	for _, job := range r.rel.jobs {
 		if !job.done {
 			r.rel.rebuildTime += horizon - job.failAt
+			if o := r.cfg.Obs; o != nil && o.Trace != nil {
+				o.Trace.Emit(obs.TraceEvent{
+					Phase: 'X', Track: "reliability",
+					Name: fmt.Sprintf("rebuild group %d (unfinished)", job.group),
+					At:   job.failAt, Dur: horizon - job.failAt,
+				})
+			}
 		}
 	}
 }

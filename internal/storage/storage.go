@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"diskpack/internal/disk"
+	"diskpack/internal/obs"
 	"diskpack/internal/trace"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// rebuild traffic (see ReliabilityConfig). CyclesPerDay and AFR are
 	// reported for every run regardless.
 	Reliability *ReliabilityConfig
+	// Obs, when non-nil, receives observability output: per-disk state
+	// timelines and boundary events into Obs.Trace, per-window records
+	// into Obs.Telemetry, and live metrics into Obs.Metrics. Strictly
+	// observation-only — results are byte-identical with or without it.
+	Obs *obs.RunObserver
 }
 
 // Unplaced marks a file with no disk yet in an assignment: it must be

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"diskpack/internal/disk"
+	"diskpack/internal/obs"
 	"diskpack/internal/sim"
 	"diskpack/internal/stats"
 	"diskpack/internal/trace"
@@ -255,6 +256,17 @@ func (c *RunControl) Realloc(assign []int) (moved int, movedBytes int64, err err
 	r.migrationEnergy += energy
 	r.migratedFiles += int64(moved)
 	r.migratedBytes += movedBytes
+	if o := r.cfg.Obs; moved > 0 && o != nil && o.Trace != nil {
+		// Realloc only runs at a window boundary with every shard
+		// parked, so the boundary clock is shard 0's clock.
+		o.Trace.Emit(obs.TraceEvent{
+			Phase: 'i', Track: "control", Name: "migration",
+			At: float64(r.shards[0].env.Now()),
+			Args: map[string]any{
+				"files": moved, "bytes": movedBytes, "energyJ": energy,
+			},
+		})
+	}
 	// A file that crossed a shard boundary changes which shard's
 	// arrival chain owns its future requests; the runner rescans every
 	// chain before releasing the shards into the next window.
