@@ -66,6 +66,7 @@ import (
 	"io/fs"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -82,6 +83,7 @@ import (
 	"diskpack/internal/coord"
 	"diskpack/internal/disk"
 	"diskpack/internal/farm"
+	"diskpack/internal/obs"
 	"diskpack/internal/trace"
 )
 
@@ -152,6 +154,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		leaseD      = fs.Duration("lease", time.Minute, "coordinator lease: how long a worker may hold a point without a heartbeat before it re-queues")
 		batchN      = fs.Int("batch", 4, "coordinator batch: max points handed out per lease request (adaptively shrunk by observed point cost)")
 		token       = fs.String("token", "", "shared secret for -serve/-work: workers must present it, mismatches get 401")
+		obsOut      = fs.String("obs-out", "", "write this process's span log (JSONL) to FILE; for -serve, -work, and -run-shard (name them *.spans.jsonl and fold with -merge-trace)")
+		mergeTrace  = fs.String("merge-trace", "", "fold the *.spans.jsonl span logs under DIR into one Chrome-trace JSON (to -trace-out FILE, default stdout; load in Perfetto)")
 		controlName = fs.String("control", "", "run closed-loop under an online controller: tail-budget, rate-respec, or static to strip a scenario's controller")
 		epochF      = fs.Float64("epoch", 0, "telemetry window length in seconds for -control (default: the scenario's, or 1800)")
 		budgetF     = fs.Float64("budget", 0, "p95 response-time budget in seconds for -control tail-budget (default: the scenario's, or 20)")
@@ -269,13 +273,21 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d must be >= 1", *shards)
 	}
-	if *workURL != "" {
-		if err := onlyFlags("work",
-			"a worker pulls everything from the coordinator; it takes only -workers, -name, and -token",
-			"workers", "name", "token"); err != nil {
+	if *mergeTrace != "" {
+		if err := onlyFlags("merge-trace",
+			"it only folds span logs into a trace file; it takes -trace-out",
+			"trace-out"); err != nil {
 			return err
 		}
-		return workSweep(*workURL, *workerName, *workers, *token, out)
+		return mergeTraceDir(*mergeTrace, *traceOut, out)
+	}
+	if *workURL != "" {
+		if err := onlyFlags("work",
+			"a worker pulls everything from the coordinator; it takes only -workers, -name, -token, and -obs-out",
+			"workers", "name", "token", "obs-out"); err != nil {
+			return err
+		}
+		return workSweep(*workURL, *workerName, *workers, *token, *obsOut, *metricsAddr, out)
 	}
 	// Like the coordinator knobs below, the worker's name must not
 	// outlive its mode: silently ignored flags would look like they
@@ -285,6 +297,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if wasSet("token") && *serveAddr == "" {
 		return fmt.Errorf("-token needs -serve ADDR or -work URL")
+	}
+	if *obsOut != "" && *serveAddr == "" && *runShard == "" {
+		return fmt.Errorf("-obs-out needs -serve ADDR, -work URL, or -run-shard FILE (single runs use -trace-out/-telemetry-out)")
 	}
 	if *serveAddr != "" {
 		if *leaseD < time.Second {
@@ -317,11 +332,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *runShard != "" {
 		if err := onlyFlags("run-shard",
-			"it takes only -shard-result and -workers (the manifest carries the sweep and its seed)",
-			"shard-result", "workers"); err != nil {
+			"it takes only -shard-result, -workers, and -obs-out (the manifest carries the sweep and its seed)",
+			"shard-result", "workers", "obs-out"); err != nil {
 			return err
 		}
-		return runShardFile(*runShard, *shardResult, *workers, out)
+		return runShardFile(*runShard, *shardResult, *workers, *obsOut, out)
 	}
 	if *mergeDir != "" {
 		if err := onlyFlags("merge",
@@ -407,7 +422,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			if doc.Sweep == nil {
 				return fmt.Errorf("-serve needs a grid: %s holds a single Spec, not a Sweep", *specIn)
 			}
-			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *verbose)
+			return serveSweep(out, *doc.Sweep, *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *obsOut, *verbose)
 		}
 		if doc.Sweep != nil {
 			if obsFiles {
@@ -643,7 +658,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		if !hasGrid {
 			return fmt.Errorf("-serve needs a grid: add -sweep axes or use a sweep scenario/spec")
 		}
-		return serveSweep(out, mkSweep(), *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *verbose)
+		return serveSweep(out, mkSweep(), *seed, *serveAddr, *journalPath, *leaseD, *batchN, *token, *obsOut, *verbose)
 	}
 
 	if *specOut != "" {
@@ -818,17 +833,96 @@ func startProfiles(cpu, mem string, graceful bool) (stop func(), err error) {
 	return stop, nil
 }
 
+// openSpanSink creates the -obs-out span log file and its recorder.
+// A nil-returning empty path is the disabled state (the recorder's
+// methods are nil-safe). The returned close aborts any still-open
+// spans, flushes, and closes the file; callers defer it on every exit
+// path so a SIGINT return still leaves a valid, complete JSONL log —
+// the same guarantee the single-run -trace-out/-telemetry-out sinks
+// give.
+func openSpanSink(path string) (*obs.SpanRecorder, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-obs-out: %w", err)
+	}
+	// The recorder owns the file: its Close closes it.
+	return obs.NewSpanRecorder(f), nil
+}
+
+// mergeTraceDir folds every *.spans.jsonl under dir into one
+// Chrome-trace JSON — one track per recorded process — written to
+// tracePath, or to out when no -trace-out was given.
+func mergeTraceDir(dir, tracePath string, out io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var logs []obs.SpanLog
+	var spans int
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".spans.jsonl") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		log, err := obs.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		logs = append(logs, *log)
+		spans += len(log.Spans)
+	}
+	if len(logs) == 0 {
+		return fmt.Errorf("no *.spans.jsonl files in %s (record them with -obs-out)", dir)
+	}
+	w := out
+	var f *os.File
+	if tracePath != "" {
+		f, err = os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		w = f
+	}
+	err = obs.WriteSpanTrace(w, logs)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(out, "wrote %s (%d tracks, %d spans)\n", tracePath, len(logs), spans)
+		}
+	}
+	return err
+}
+
 // serveSweep runs the grid as a work-stealing coordinator and prints
 // the drained report — byte-identical to runSweep of the same grid.
 // Progress goes to stderr so the report stays diffable.
-func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal string, lease time.Duration, batch int, token string, verbose bool) error {
+func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal string, lease time.Duration, batch int, token, obsOut string, verbose bool) (retErr error) {
 	ctx, stop := interruptContext()
 	defer stop()
+	rec, err := openSpanSink(obsOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := rec.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("-obs-out: %w", cerr)
+		}
+	}()
 	res, err := coord.Serve(ctx, sweep, seed, addr, coord.Config{
 		LeaseTimeout: lease,
 		BatchSize:    batch,
 		JournalPath:  journal,
 		Token:        token,
+		Spans:        rec,
 		OnListen: func(a net.Addr) {
 			fmt.Fprintf(os.Stderr, "disksim: coordinator serving %d points on %s\n", sweep.NumPoints(), a)
 		},
@@ -856,10 +950,33 @@ func serveSweep(out io.Writer, sweep farm.Sweep, seed int64, addr, journal strin
 }
 
 // workSweep joins a coordinator and pulls points until the grid drains.
-func workSweep(url, name string, workers int, token string, out io.Writer) error {
+// -obs-out records this worker's span log (flushed on SIGINT like
+// every sink) and -metrics-addr serves its per-slot telemetry live.
+func workSweep(url, name string, workers int, token, obsOut, metricsAddr string, out io.Writer) (retErr error) {
 	ctx, stop := interruptContext()
 	defer stop()
-	stats, err := coord.Work(ctx, url, coord.WorkerConfig{Name: name, Parallel: workers, Token: token})
+	rec, err := openSpanSink(obsOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := rec.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("-obs-out: %w", cerr)
+		}
+	}()
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		srv := &http.Server{Handler: obs.NewServeMux(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "disksim: worker metrics on http://%s/metrics\n", ln.Addr())
+	}
+	stats, err := coord.Work(ctx, url, coord.WorkerConfig{Name: name, Parallel: workers, Token: token, Spans: rec, Metrics: reg})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			return fmt.Errorf("worker %s interrupted after %d points — its leases will expire and re-queue at the coordinator", stats.Worker, stats.Points)
@@ -876,7 +993,7 @@ func workSweep(url, name string, workers int, token string, out io.Writer) error
 // journals to <result>.partial — synced as it lands — so a crash or an
 // interrupt loses at most one point; the journal is deleted once the
 // final result file is durably in place.
-func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) error {
+func runShardFile(manifestPath, resultPath string, workers int, obsOut string, out io.Writer) (retErr error) {
 	ctx, stop := interruptContext()
 	defer stop()
 	if resultPath == "" {
@@ -889,6 +1006,22 @@ func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) e
 	m, err := farm.DecodeShard(f)
 	f.Close()
 	if err != nil {
+		return err
+	}
+	rec, err := openSpanSink(obsOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := rec.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("-obs-out: %w", cerr)
+		}
+	}()
+	if err := rec.Start(obs.SpanHeader{
+		Track: fmt.Sprintf("shard-%d", m.Index), Role: "shard",
+		SweepHash: farm.Fingerprint(m.Sweep, m.Seed), Seed: m.Seed,
+		Points: m.Sweep.NumPoints(),
+	}); err != nil {
 		return err
 	}
 	var prior *farm.ShardResult
@@ -909,7 +1042,25 @@ func runShardFile(manifestPath, resultPath string, workers int, out io.Writer) e
 	defer journal.Close()
 	prior = priorWithJournal(m, prior, journaled)
 	reused := m.Reused(prior)
-	res, err := farm.RunShardStream(ctx, *m, prior, workers, journal.Append)
+	// The resume decision is worth a record on both planes: a
+	// structured event in the span log, and one human line on stderr
+	// (the report on stdout stays diffable).
+	rec.Event(-1, 0, "resume", obs.SpanOK,
+		map[string]any{"reused": reused, "rerun": len(m.Points) - reused})
+	if reused > 0 {
+		fmt.Fprintf(os.Stderr, "disksim: shard %d resume: %d of %d points reused, %d to run\n",
+			m.Index, reused, len(m.Points), len(m.Points)-reused)
+	}
+	// Every newly computed point lands in the journal and, when a span
+	// log is attached, as an instant point event at its completion time.
+	sink := journal.Append
+	if obsOut != "" {
+		sink = func(pr farm.ShardPointResult) error {
+			rec.Event(pr.Index, 1, "point", obs.SpanOK, map[string]any{"label": pr.Label})
+			return journal.Append(pr)
+		}
+	}
+	res, err := farm.RunShardStream(ctx, *m, prior, workers, sink)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			return fmt.Errorf("interrupted — %s holds every completed point; re-run -run-shard to resume", partialPath)

@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -84,6 +85,12 @@ type Config struct {
 	// OnListen, when non-nil, is called by Serve once the listener is
 	// bound — how callers learn the actual address of ":0".
 	OnListen func(addr net.Addr)
+	// Spans, when non-nil, receives one grant span per lease attempt:
+	// granted→submitted (ok), granted→stolen, or left open and closed
+	// aborted when the recorder shuts down. Observation-only — results
+	// are byte-identical with or without it. The coordinator writes
+	// the header itself (Track "coordinator").
+	Spans *obs.SpanRecorder
 }
 
 // batchLeaseFraction is the lease fraction an adaptively sized batch
@@ -136,7 +143,13 @@ type (
 	// everything is leased out elsewhere — poll again; Done=true means
 	// the grid is complete and the worker can exit.
 	LeaseResponse struct {
-		Points       []farm.ShardPoint
+		Points []farm.ShardPoint
+		// Attempts runs parallel to Points: the global lease attempt
+		// number of each grant (1 on the first lease, higher after
+		// expiries). Span IDs derive from it, so every process that
+		// touches the same attempt logs the same identity. Absent from
+		// pre-span coordinators; workers fall back to attempt 0.
+		Attempts     []int `json:",omitempty"`
 		LeaseSeconds float64
 		Done         bool
 	}
@@ -187,6 +200,28 @@ type (
 		Expired, Duplicates                     int
 		EwmaPointSeconds                        float64
 		Batch                                   int
+		// LiveWorkers counts workers holding a live lease or heard
+		// from within one lease timeout; MaxLeaseAgeSeconds is the age
+		// of the oldest live lease. Both also surface on /metrics.
+		LiveWorkers        int
+		MaxLeaseAgeSeconds float64
+		// Workers names every worker the coordinator has heard from,
+		// sorted by name, with its in-flight points — stuck-worker
+		// diagnosis straight from curl /v1/status.
+		Workers []WorkerStatus
+	}
+	// WorkerStatus is one worker's row in Status.Workers.
+	WorkerStatus struct {
+		Name string
+		// Points lists the labels of points under a live lease held by
+		// this worker, in grid order.
+		Points []string
+		// OldestLeaseAgeSeconds is the age of the worker's oldest live
+		// lease (0 when it holds none).
+		OldestLeaseAgeSeconds float64
+		// LastContactSeconds is how long ago the worker last made any
+		// protocol call.
+		LastContactSeconds float64
 	}
 )
 
@@ -208,6 +243,9 @@ type pointState struct {
 	// that completes the point turns it into a wall-time observation
 	// for adaptive batch sizing.
 	grantedAt time.Time
+	// attempts counts lease grants for this point; it is the global
+	// attempt number span IDs derive from.
+	attempts int
 }
 
 // Coordinator owns a compiled grid's point queue and its HTTP
@@ -237,6 +275,16 @@ type Coordinator struct {
 	// now is the clock, a test seam.
 	now func() time.Time
 
+	// Observability. fp is the sweep fingerprint span IDs derive
+	// from; start is the time origin grant spans measure against;
+	// spans is the optional recorder (nil-safe); lastContact tracks
+	// each worker's most recent protocol call for Status.Workers and
+	// the liveness gauge.
+	fp          string
+	start       time.Time
+	spans       *obs.SpanRecorder
+	lastContact map[string]time.Time
+
 	// Protocol metrics, served at GET /metrics in Prometheus text
 	// format. Per-worker counters make a stuck worker visible without
 	// a journal autopsy: its leases climb while its submits do not.
@@ -249,6 +297,10 @@ type Coordinator struct {
 	gLeased     *obs.Gauge
 	gPending    *obs.Gauge
 	gEwma       *obs.Gauge
+	gLeaseAge   *obs.Gauge
+	gLive       *obs.Gauge
+	hPoint      *obs.Histogram
+	hFsync      *obs.Histogram
 }
 
 // New compiles the sweep and builds the point queue, recovering any
@@ -268,14 +320,18 @@ func New(sweep farm.Sweep, seed int64, cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	co := &Coordinator{
-		cfg:     cfg,
-		comp:    comp,
-		state:   make([]pointState, comp.NumPoints()),
-		results: make([]farm.ShardPointResult, comp.NumPoints()),
-		pending: comp.NumPoints(),
-		done:    make(chan struct{}),
-		now:     time.Now,
-		reg:     obs.NewRegistry(),
+		cfg:         cfg,
+		comp:        comp,
+		state:       make([]pointState, comp.NumPoints()),
+		results:     make([]farm.ShardPointResult, comp.NumPoints()),
+		pending:     comp.NumPoints(),
+		done:        make(chan struct{}),
+		now:         time.Now,
+		fp:          comp.Fingerprint(),
+		start:       time.Now(),
+		spans:       cfg.Spans,
+		lastContact: make(map[string]time.Time),
+		reg:         obs.NewRegistry(),
 	}
 	co.mLeases = co.reg.NewCounterVec("coord_leases_total", "points leased, by worker", "worker")
 	co.mExpired = co.reg.NewCounterVec("coord_lease_expiries_total", "leases that expired and were stolen, by the worker that lost them", "worker")
@@ -285,6 +341,20 @@ func New(sweep farm.Sweep, seed int64, cfg Config) (*Coordinator, error) {
 	co.gLeased = co.reg.NewGauge("coord_points_leased", "points under a live lease")
 	co.gPending = co.reg.NewGauge("coord_points_pending", "points waiting for a lease")
 	co.gEwma = co.reg.NewGauge("coord_point_seconds_ewma", "EWMA of observed per-point wall seconds")
+	co.gLeaseAge = co.reg.NewGauge("coord_lease_age_max_seconds", "age of the oldest live lease")
+	co.gLive = co.reg.NewGauge("coord_workers_live", "workers holding a live lease or heard from within one lease timeout")
+	co.hPoint = co.reg.NewHistogram("coord_point_seconds", "lease-grant to accepted-submit wall seconds per point",
+		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120})
+	co.hFsync = co.reg.NewHistogram("coord_journal_fsync_seconds", "journal append+fsync wall seconds",
+		[]float64{0.0005, 0.002, 0.01, 0.05, 0.25, 1})
+	if co.spans != nil {
+		if err := co.spans.Start(obs.SpanHeader{
+			Track: "coordinator", Role: "coordinator", SweepHash: co.fp,
+			Seed: seed, Points: comp.NumPoints(), StartUnixNano: co.start.UnixNano(),
+		}); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.JournalPath != "" {
 		journal, points, err := farm.OpenPointJournal(cfg.JournalPath, sweep, seed)
 		if err != nil {
@@ -335,17 +405,65 @@ func (co *Coordinator) statusLocked() Status {
 		Batch:            co.batchLocked(),
 	}
 	now := co.now()
+	// Per-worker rows: in-flight labels and lease ages for every
+	// worker that holds a live lease, merged with last-contact times
+	// for every worker ever heard from.
+	rows := make(map[string]*WorkerStatus, len(co.lastContact))
+	row := func(name string) *WorkerStatus {
+		ws := rows[name]
+		if ws == nil {
+			ws = &WorkerStatus{Name: name}
+			rows[name] = ws
+		}
+		return ws
+	}
 	for i := range co.state {
+		st := &co.state[i]
 		switch {
-		case co.state[i].status == statusDone:
+		case st.status == statusDone:
 			s.Done++
-		case co.state[i].status == statusLeased && now.Before(co.state[i].deadline):
+		case st.status == statusLeased && now.Before(st.deadline):
 			s.Leased++
+			age := now.Sub(st.grantedAt).Seconds()
+			if age < 0 {
+				age = 0
+			}
+			if age > s.MaxLeaseAgeSeconds {
+				s.MaxLeaseAgeSeconds = age
+			}
+			ws := row(st.worker)
+			ws.Points = append(ws.Points, co.comp.Label(i))
+			if age > ws.OldestLeaseAgeSeconds {
+				ws.OldestLeaseAgeSeconds = age
+			}
 		default:
 			s.Pending++
 		}
 	}
+	for name, at := range co.lastContact {
+		ws := row(name)
+		if since := now.Sub(at).Seconds(); since > 0 {
+			ws.LastContactSeconds = since
+		}
+	}
+	s.Workers = make([]WorkerStatus, 0, len(rows))
+	for _, ws := range rows {
+		// Live: a current lease, or any contact within one lease
+		// timeout — a worker between lease polls is not dead.
+		if len(ws.Points) > 0 || ws.LastContactSeconds <= co.cfg.LeaseTimeout.Seconds() {
+			s.LiveWorkers++
+		}
+		s.Workers = append(s.Workers, *ws)
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Name < s.Workers[j].Name })
 	return s
+}
+
+// touchLocked records a worker's protocol contact (callers hold mu).
+func (co *Coordinator) touchLocked(worker string, now time.Time) {
+	if worker != "" {
+		co.lastContact[worker] = now
+	}
 }
 
 // Wait blocks until every point is done (or the context is cancelled,
@@ -447,6 +565,8 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	co.gLeased.Set(float64(st.Leased))
 	co.gPending.Set(float64(st.Pending))
 	co.gEwma.Set(st.EwmaPointSeconds)
+	co.gLeaseAge.Set(st.MaxLeaseAgeSeconds)
+	co.gLive.Set(float64(st.LiveWorkers))
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
 	co.reg.WritePrometheus(w)
 }
@@ -479,6 +599,7 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	co.touchLocked(req.Worker, co.now())
 	batch := co.batchLocked()
 	max := req.Max
 	if max < 1 || max > batch {
@@ -501,15 +622,41 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		// is then submitted anyway was never stolen).
 		if s.status == statusLeased {
 			co.mExpired.With(s.worker).Inc()
+			// The lost attempt's grant span closes here, stolen. The
+			// recorder write is buffer-free but fsync-free, so holding
+			// mu across it costs microseconds, not a disk flush.
+			_ = co.spans.Record(co.grantSpanLocked(i, s, now, obs.SpanStolen,
+				map[string]any{"stolen_by": req.Worker}))
 		}
 		co.mLeases.With(req.Worker).Inc()
 		s.status = statusLeased
 		s.worker = req.Worker
 		s.deadline = now.Add(co.cfg.LeaseTimeout)
 		s.grantedAt = now
+		s.attempts++
 		resp.Points = append(resp.Points, co.comp.Descriptor(i))
+		resp.Attempts = append(resp.Attempts, s.attempts)
 	}
 	writeJSON(w, resp)
+}
+
+// grantSpanLocked builds the span describing point i's current lease
+// attempt, ending at end with the given status (callers hold mu).
+func (co *Coordinator) grantSpanLocked(i int, s *pointState, end time.Time, status string, args map[string]any) obs.Span {
+	a := map[string]any{"worker": s.worker, "label": co.comp.Label(i)}
+	for k, v := range args {
+		a[k] = v
+	}
+	return obs.Span{
+		ID:      obs.SpanID(co.fp, i, s.attempts, "grant"),
+		Point:   i,
+		Attempt: s.attempts,
+		Phase:   "grant",
+		Status:  status,
+		Start:   s.grantedAt.Sub(co.start).Seconds(),
+		End:     end.Sub(co.start).Seconds(),
+		Args:    a,
+	}
 }
 
 func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -521,6 +668,7 @@ func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	now := co.now()
+	co.touchLocked(req.Worker, now)
 	resp := HeartbeatResponse{}
 	for _, i := range req.Indexes {
 		if i < 0 || i >= len(co.state) {
@@ -552,6 +700,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	co.mu.Lock()
+	co.touchLocked(req.Worker, co.now())
 	if co.failed != nil {
 		err := co.failed
 		co.mu.Unlock()
@@ -562,6 +711,8 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// First write won. Any duplicate is byte-equal anyway (points
 		// are pure functions of spec and seed), so discarding is safe.
 		co.mDuplicates.With(req.Worker).Inc()
+		co.spans.Event(req.Point.Index, co.state[req.Point.Index].attempts, "submit",
+			obs.SpanDuplicate, map[string]any{"worker": req.Worker})
 		resp := SubmitResponse{Duplicate: true, Done: co.pending == 0}
 		co.mu.Unlock()
 		writeJSON(w, resp)
@@ -575,9 +726,11 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// submits of the same point may both append — recovery dedups
 	// (first write wins), so the extra line is harmless.
 	if journal != nil {
+		fsyncStart := time.Now()
 		co.journalMu.Lock()
 		err := journal.Append(req.Point)
 		co.journalMu.Unlock()
+		co.hFsync.Observe(time.Since(fsyncStart).Seconds())
 		if err != nil {
 			// The crash guarantee is gone; fail the run rather than
 			// keep collecting results that would not survive a restart.
@@ -596,29 +749,34 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	if co.failed != nil {
-		http.Error(w, co.failed.Error(), http.StatusInternalServerError)
+		err := co.failed
+		co.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s := &co.state[req.Point.Index]
 	if s.status == statusDone {
 		// Another submit of the same point won the fsync race.
 		co.mDuplicates.With(req.Worker).Inc()
-		writeJSON(w, SubmitResponse{Duplicate: true, Done: co.pending == 0})
+		resp := SubmitResponse{Duplicate: true, Done: co.pending == 0}
+		co.mu.Unlock()
+		writeJSON(w, resp)
 		return
 	}
+	now := co.now()
 	if !s.grantedAt.IsZero() {
 		// Lease-to-submit wall time feeds the adaptive batch EWMA.
 		// Points later in a batch include their queue wait — an
 		// overestimate that shrinks the next batch, which is the
 		// correction we want.
-		if dur := co.now().Sub(s.grantedAt).Seconds(); dur >= 0 {
+		if dur := now.Sub(s.grantedAt).Seconds(); dur >= 0 {
 			if co.ewmaSec <= 0 {
 				co.ewmaSec = dur
 			} else {
 				co.ewmaSec = 0.3*dur + 0.7*co.ewmaSec
 			}
+			co.hPoint.Observe(dur)
 		}
 	}
 	s.status = statusDone
@@ -626,10 +784,24 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	co.mSubmits.With(req.Worker).Inc()
 	co.results[req.Point.Index] = req.Point
 	co.pending--
-	if co.pending == 0 {
+	done := co.pending == 0
+	if done {
 		close(co.done)
 	}
-	writeJSON(w, SubmitResponse{Done: co.pending == 0})
+	// The winning attempt's grant span closes ok, into the recorder
+	// and — after releasing the queue lock — the journal, so the
+	// journal reads as results interleaved with who ran them when.
+	sp := co.grantSpanLocked(req.Point.Index, s, now, obs.SpanOK, nil)
+	_ = co.spans.Record(sp)
+	co.mu.Unlock()
+	if journal != nil {
+		co.journalMu.Lock()
+		// Best-effort sidecar: a failing envelope append must not fail
+		// a point whose result is already durable.
+		_ = journal.AppendSpan(sp)
+		co.journalMu.Unlock()
+	}
+	writeJSON(w, SubmitResponse{Done: done})
 }
 
 // handleFail marks the run terminally failed on a worker's report of a
@@ -650,9 +822,13 @@ func (co *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	co.touchLocked(req.Worker, co.now())
 	if co.failed == nil && co.state[req.Index].status != statusDone {
 		co.failed = fmt.Errorf("coord: point %d (%s) failed on worker %s: %s",
 			req.Index, co.comp.Label(req.Index), req.Worker, req.Error)
+		s := &co.state[req.Index]
+		_ = co.spans.Record(co.grantSpanLocked(req.Index, s, co.now(), obs.SpanError,
+			map[string]any{"error": req.Error, "worker": req.Worker}))
 		close(co.done)
 	}
 	writeJSON(w, struct{}{})

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -52,6 +53,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	postJSON(t, srv.URL+"/v1/submit", SubmitRequest{Worker: "healthy", Point: pr}, nil)
 	postJSON(t, srv.URL+"/v1/submit", SubmitRequest{Worker: "late", Point: pr}, nil)
 
+	// Nudge the clock so the surviving lease has a visible age (still
+	// well inside its timeout).
+	clock = clock.Add(heartbeatFloor)
+
 	st := co.Status()
 	if st.Expired != 2 {
 		t.Errorf("Status.Expired = %d, want 2", st.Expired)
@@ -61,6 +66,50 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if st.Done != 1 {
 		t.Errorf("Status.Done = %d, want 1", st.Done)
+	}
+
+	// Per-worker rows, sorted by name: doomed went silent past one
+	// lease timeout (dead, no points), healthy still holds one live
+	// lease, late only ever submitted a duplicate.
+	if len(st.Workers) != 3 {
+		t.Fatalf("Status.Workers has %d rows, want doomed/healthy/late", len(st.Workers))
+	}
+	for i, want := range []string{"doomed", "healthy", "late"} {
+		if st.Workers[i].Name != want {
+			t.Fatalf("Workers[%d] = %q, want %q", i, st.Workers[i].Name, want)
+		}
+	}
+	if n := len(st.Workers[0].Points); n != 0 {
+		t.Errorf("doomed still shows %d in-flight points after losing its lease", n)
+	}
+	wantLabel := healthy.Points[1].Label
+	if got := st.Workers[1].Points; len(got) != 1 || got[0] != wantLabel {
+		t.Errorf("healthy in-flight points %v, want [%s]", got, wantLabel)
+	}
+	age := heartbeatFloor.Seconds()
+	if st.Workers[1].OldestLeaseAgeSeconds != age || st.MaxLeaseAgeSeconds != age {
+		t.Errorf("lease ages %v / %v, want %v", st.Workers[1].OldestLeaseAgeSeconds, st.MaxLeaseAgeSeconds, age)
+	}
+	if st.LiveWorkers != 2 {
+		t.Errorf("LiveWorkers = %d, want healthy and late", st.LiveWorkers)
+	}
+
+	// The same rows come back over GET /v1/status, labels included.
+	stResp, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody, err := io.ReadAll(stResp.Body)
+	stResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Status
+	if err := json.Unmarshal(stBody, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Workers) != 3 || len(wire.Workers[1].Points) != 1 || wire.Workers[1].Points[0] != wantLabel {
+		t.Errorf("/v1/status workers %+v, want healthy holding %q", wire.Workers, wantLabel)
 	}
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -84,6 +133,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		`coord_points_done 1`,
 		`coord_points_leased 1`,
 		`coord_points_pending 4`,
+		`coord_workers_live 2`,
+		`coord_lease_age_max_seconds 0.05`,
+		`coord_point_seconds_bucket`,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

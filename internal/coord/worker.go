@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"diskpack/internal/farm"
+	"diskpack/internal/obs"
 )
 
 // Worker defaults for the zero WorkerConfig values.
@@ -49,6 +51,16 @@ type WorkerConfig struct {
 	// a bearer credential on every request. A wrong or missing token
 	// against an authenticated coordinator fails fast with 401.
 	Token string
+	// Spans, when non-nil, receives this worker's span log: a compile
+	// span, per-slot lease waits, and a point span per leased attempt
+	// with run/submit children plus retry/steal events. The worker
+	// writes the header itself once the sweep compiles (Track = Name).
+	// Observation-only — results are byte-identical with or without
+	// it.
+	Spans *obs.SpanRecorder
+	// Metrics, when non-nil, registers the worker's telemetry there:
+	// per-slot utilization gauges and per-phase latency histograms.
+	Metrics *obs.Registry
 }
 
 // validate applies defaults and rejects out-of-range values loudly.
@@ -113,6 +125,8 @@ func Work(ctx context.Context, baseURL string, cfg WorkerConfig) (WorkStats, err
 		cfg:    cfg,
 		base:   strings.TrimRight(baseURL, "/"),
 		client: &http.Client{Timeout: defaultTimeout},
+		spans:  cfg.Spans,
+		wm:     newWorkerMetrics(cfg.Metrics),
 	}
 	stats := WorkStats{Worker: cfg.Name}
 
@@ -122,13 +136,60 @@ func Work(ctx context.Context, baseURL string, cfg WorkerConfig) (WorkStats, err
 	if err := w.call(ctx, http.MethodGet, "/v1/sweep", nil, &job); err != nil {
 		return stats, fmt.Errorf("coord: worker %s fetching sweep: %w", cfg.Name, err)
 	}
+	compileStart := time.Now()
 	comp, err := farm.Compile(job.Sweep, job.Seed)
 	if err != nil {
 		return stats, fmt.Errorf("coord: worker %s compiling served sweep: %w", cfg.Name, err)
 	}
+	// The span log opens only now: its header needs the compiled
+	// grid's fingerprint, which is also every span ID's root.
+	if w.spans != nil {
+		if err := w.spans.Start(obs.SpanHeader{
+			Track: cfg.Name, Role: "worker", SweepHash: comp.Fingerprint(),
+			Seed: job.Seed, Points: comp.NumPoints(), StartUnixNano: compileStart.UnixNano(),
+		}); err != nil {
+			return stats, fmt.Errorf("coord: worker %s span log: %w", cfg.Name, err)
+		}
+		_ = w.spans.Record(obs.Span{
+			Point: -1, Attempt: 0, Phase: "compile", Status: obs.SpanOK,
+			Start: 0, End: time.Since(compileStart).Seconds(),
+			Args: map[string]any{"points": comp.NumPoints()},
+		})
+	}
 	stats.Points, err = w.pump(ctx, comp)
 	stats.Retries = int(w.retries.Load())
 	return stats, err
+}
+
+// workerMetrics is the worker's telemetry bundle; every field is
+// nil-safe, so an uninstrumented worker (nil registry) records through
+// no-ops.
+type workerMetrics struct {
+	// slotBusy accumulates per-slot seconds spent executing points —
+	// utilization reads as busy seconds over wall seconds.
+	slotBusy *obs.GaugeVec
+	// slotPoints counts points completed per slot.
+	slotPoints *obs.CounterVec
+	// Per-phase latency: lease waits (ask → grant, fruitless polls
+	// included), point runs, and submits.
+	leaseWait *obs.Histogram
+	run       *obs.Histogram
+	submit    *obs.Histogram
+	retries   *obs.Counter
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	return &workerMetrics{
+		slotBusy:   reg.NewGaugeVec("worker_slot_busy_seconds", "seconds each slot has spent executing points", "slot"),
+		slotPoints: reg.NewCounterVec("worker_slot_points_total", "points completed, by slot", "slot"),
+		leaseWait: reg.NewHistogram("worker_lease_wait_seconds", "lease-request to grant wall seconds, fruitless polls included",
+			[]float64{0.001, 0.01, 0.1, 0.5, 2, 10}),
+		run: reg.NewHistogram("worker_run_seconds", "point execution wall seconds",
+			[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120}),
+		submit: reg.NewHistogram("worker_submit_seconds", "point submission wall seconds",
+			[]float64{0.001, 0.01, 0.05, 0.25, 1, 5}),
+		retries: reg.NewCounter("worker_retries_total", "protocol requests re-sent after a transient failure"),
+	}
 }
 
 // worker carries the HTTP plumbing of one Work call.
@@ -136,9 +197,15 @@ type worker struct {
 	cfg    WorkerConfig
 	base   string
 	client *http.Client
+	// spans and wm are the observability sinks (both nil-safe).
+	spans *obs.SpanRecorder
+	wm    *workerMetrics
 	// retries counts re-sent protocol requests across every slot
 	// (atomic — slots call concurrently); surfaced as WorkStats.Retries.
 	retries atomic.Int64
+	// leaseSeq numbers this worker's lease-wait spans (run-level spans
+	// have no coordinator-assigned attempt to key on).
+	leaseSeq atomic.Int64
 	// draining, when non-nil, reports that the grid is known drained;
 	// call() then stops retrying transient failures — the coordinator
 	// shutting down after its linger window is the expected reason for
@@ -168,7 +235,10 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 		// because the coordinator can re-lease this worker's own expired
 		// point to a sibling slot, and the first finisher must not
 		// strip the survivor's heartbeat coverage.
-		held       = make(map[int]int, w.cfg.Parallel)
+		held = make(map[int]int, w.cfg.Parallel)
+		// attempts remembers the latest lease attempt per held point,
+		// so a steal reported by heartbeat logs the attempt it ended.
+		attempts   = make(map[int]int, w.cfg.Parallel)
 		hbInterval time.Duration // from lease responses; 0 until the first grant
 		computed   int
 		gridDone   bool
@@ -230,15 +300,24 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 			// wins, so ours may still land, and the submit response is
 			// how a lone slot learns the grid drained.
 			var resp HeartbeatResponse
-			_ = w.once(slotCtx, http.MethodPost, "/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Indexes: idx}, &resp)
+			if err := w.once(slotCtx, http.MethodPost, "/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Indexes: idx}, &resp); err == nil {
+				for _, i := range resp.Dropped {
+					mu.Lock()
+					a := attempts[i]
+					mu.Unlock()
+					w.spans.Event(i, a, "stolen", obs.SpanStolen, nil)
+				}
+			}
 		}
 	}()
 
-	slot := func() error {
+	slot := func(slotID int) error {
+		slotLabel := strconv.Itoa(slotID)
 		for {
 			if err := slotCtx.Err(); err != nil {
 				return err
 			}
+			leaseStart := time.Now()
 			var lease LeaseResponse
 			if err := w.call(slotCtx, http.MethodPost, "/v1/lease", LeaseRequest{Worker: w.cfg.Name, Max: 1}, &lease); err != nil {
 				return fmt.Errorf("coord: worker %s leasing: %w", w.cfg.Name, err)
@@ -262,19 +341,39 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 				}
 				continue
 			}
+			// A granted lease ends this slot's wait — observed once per
+			// grant, as a run-level span keyed by a worker-local
+			// sequence (grants on different slots interleave freely).
+			w.wm.leaseWait.Observe(time.Since(leaseStart).Seconds())
+			if w.spans != nil {
+				seq := int(w.leaseSeq.Add(1))
+				_ = w.spans.Record(obs.Span{
+					Point: -1, Attempt: seq, Phase: "lease", Status: obs.SpanOK,
+					Start: w.spans.Since(leaseStart), End: w.spans.Since(time.Now()),
+					Args: map[string]any{"slot": slotID, "granted": len(lease.Points)},
+				})
+			}
 			done := false
-			for _, sp := range lease.Points {
+			for k, sp := range lease.Points {
+				attempt := 0
+				if k < len(lease.Attempts) {
+					attempt = lease.Attempts[k]
+				}
 				mu.Lock()
 				held[sp.Index]++
+				attempts[sp.Index] = attempt
 				mu.Unlock()
 				// The parent context, deliberately: a sibling slot
 				// reading Done cancels slotCtx, and that must not chop
 				// an in-flight submit the coordinator may already have
 				// counted toward the drain.
-				resp, err := w.runPoint(ctx, comp, sp)
+				busyStart := time.Now()
+				resp, err := w.runPoint(ctx, comp, sp, attempt, slotID)
+				w.wm.slotBusy.With(slotLabel).Add(time.Since(busyStart).Seconds())
 				mu.Lock()
 				if held[sp.Index]--; held[sp.Index] <= 0 {
 					delete(held, sp.Index)
+					delete(attempts, sp.Index)
 				}
 				if err == nil {
 					computed++
@@ -290,6 +389,7 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 					}
 					return err
 				}
+				w.wm.slotPoints.With(slotLabel).Inc()
 				done = done || resp.Done
 			}
 			if done {
@@ -302,9 +402,9 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 	var wg sync.WaitGroup
 	wg.Add(w.cfg.Parallel)
 	for g := 0; g < w.cfg.Parallel; g++ {
-		go func() {
+		go func(slotID int) {
 			defer wg.Done()
-			if err := slot(); err != nil {
+			if err := slot(slotID); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -312,7 +412,7 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 				mu.Unlock()
 				cancel() // wind the other slots down
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	close(hbStop)
@@ -336,25 +436,54 @@ func (w *worker) pump(ctx context.Context, comp *farm.CompiledSweep) (int, error
 // happens even if the lease has meanwhile expired or been stolen:
 // submits are idempotent and first-write-wins, so a finished result is
 // never wasted, and the response's Done flag is the only way a lone
-// slot learns the grid drained.
-func (w *worker) runPoint(ctx context.Context, comp *farm.CompiledSweep, sp farm.ShardPoint) (SubmitResponse, error) {
+// slot learns the grid drained. The point's span (with run and submit
+// children) is keyed by the coordinator-assigned attempt, so every log
+// touching this attempt agrees on its identity.
+func (w *worker) runPoint(ctx context.Context, comp *farm.CompiledSweep, sp farm.ShardPoint, attempt, slotID int) (SubmitResponse, error) {
+	ph := w.spans.Begin(sp.Index, attempt, "point", map[string]any{"label": sp.Label, "slot": slotID})
 	if err := comp.Check(sp); err != nil {
 		// A diverged build is this worker's defect, not the grid's —
 		// exit without poisoning the run for healthy workers.
+		ph.End(obs.SpanError, map[string]any{"error": err.Error()})
 		return SubmitResponse{}, fmt.Errorf("coord: worker %s lease: %w", w.cfg.Name, err)
 	}
+	rh := w.spans.BeginChild(ph, "run", nil)
+	runStart := time.Now()
 	pr, err := comp.RunPoint(sp.Index)
+	w.wm.run.Observe(time.Since(runStart).Seconds())
 	if err != nil {
 		// Points are pure functions of (spec, seed): every worker would
 		// fail this one identically, so report it — otherwise the queue
 		// re-leases the poison point until the pool drains and the
 		// coordinator waits forever.
+		rh.End(obs.SpanError, map[string]any{"error": err.Error()})
+		ph.End(obs.SpanError, nil)
 		_ = w.call(ctx, http.MethodPost, "/v1/fail", FailRequest{Worker: w.cfg.Name, Index: sp.Index, Error: err.Error()}, nil)
 		return SubmitResponse{}, fmt.Errorf("coord: worker %s point %s: %w", w.cfg.Name, sp.Label, err)
 	}
+	rh.End(obs.SpanOK, nil)
+	sh := w.spans.BeginChild(ph, "submit", nil)
+	submitStart := time.Now()
 	var resp SubmitResponse
 	if err := w.call(ctx, http.MethodPost, "/v1/submit", SubmitRequest{Worker: w.cfg.Name, Point: pr}, &resp); err != nil {
+		// A cancelled worker (SIGINT) is abandoning the point, not
+		// hitting a defect — the span log must say so.
+		status := obs.SpanError
+		if ctx.Err() != nil {
+			status = obs.SpanAborted
+		}
+		sh.End(status, map[string]any{"error": err.Error()})
+		ph.End(status, nil)
 		return SubmitResponse{}, fmt.Errorf("coord: worker %s submitting point %s: %w", w.cfg.Name, sp.Label, err)
+	}
+	w.wm.submit.Observe(time.Since(submitStart).Seconds())
+	if resp.Duplicate {
+		// Real work here, but another worker's write won the race.
+		sh.End(obs.SpanDuplicate, nil)
+		ph.End(obs.SpanOK, map[string]any{"duplicate": true})
+	} else {
+		sh.End(obs.SpanOK, nil)
+		ph.End(obs.SpanOK, nil)
 	}
 	return resp, nil
 }
@@ -401,7 +530,10 @@ func (w *worker) call(ctx context.Context, method, path string, in, out any) err
 		if serr := sleep(ctx, backoff); serr != nil {
 			return serr
 		}
-		w.retries.Add(1)
+		n := w.retries.Add(1)
+		w.wm.retries.Inc()
+		w.spans.Event(-1, int(n), "retry", obs.SpanError,
+			map[string]any{"path": path, "error": err.Error()})
 		if backoff *= 2; backoff > 2*time.Second {
 			backoff = 2 * time.Second
 		}

@@ -1,6 +1,12 @@
 package farm
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
 
 // The streaming point-result seam under every sweep executor: Compile
 // turns a Sweep into its grid exactly once, any point then executes
@@ -40,6 +46,28 @@ func (c *CompiledSweep) Seed() int64 { return c.seed }
 
 // NumPoints returns the grid size.
 func (c *CompiledSweep) NumPoints() int { return len(c.points) }
+
+// Fingerprint returns Fingerprint(sweep, seed) for the compiled grid.
+func (c *CompiledSweep) Fingerprint() string { return Fingerprint(c.decl, c.seed) }
+
+// Fingerprint derives a short stable hash identifying one (sweep,
+// seed): SHA-256 over the seed and the sweep's canonical JSON,
+// truncated to 16 hex digits. It is the sweep identity observability
+// uses — span IDs derive from it, and span logs from different sweeps
+// refuse to merge. Sweeps that cannot marshal (custom axis functions)
+// fall back to hashing the sweep name; such sweeps are not shardable,
+// so their fingerprints never cross a process boundary.
+func Fingerprint(sweep Sweep, seed int64) string {
+	b, err := json.Marshal(sweep)
+	if err != nil {
+		b = []byte(sweep.Name)
+	}
+	h := sha256.New()
+	h.Write(strconv.AppendInt(nil, seed, 10))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
 
 // Label returns point i's label.
 func (c *CompiledSweep) Label(i int) string { return c.points[i].Label }

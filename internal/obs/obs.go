@@ -271,6 +271,50 @@ func (v *CounterVec) expose(w *bufio.Writer) {
 	v.mu.Unlock()
 }
 
+// GaugeVec is a family of Gauges keyed by one label value (for
+// example, per-slot busy seconds). All methods are safe on a nil
+// receiver and safe for concurrent use.
+type GaugeVec struct {
+	name  string
+	help  string
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label value, creating it
+// on first use. Returns nil (a valid no-op Gauge) on a nil vec.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.children[value]
+	if g == nil {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) metricName() string { return v.name }
+
+func (v *GaugeVec) expose(w *bufio.Writer) {
+	header(w, v.name, v.help, "gauge")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, k, formatFloat(v.children[k].Value()))
+	}
+	v.mu.Unlock()
+}
+
 // metric is the exposition interface every registered metric type
 // implements.
 type metric interface {
@@ -336,6 +380,17 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 		return nil
 	}
 	v := &CounterVec{name: name, help: help, label: label, children: map[string]*Counter{}}
+	r.register(v)
+	return v
+}
+
+// NewGaugeVec registers and returns a gauge family keyed by one
+// label. On a nil registry it returns a nil GaugeVec.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	v := &GaugeVec{name: name, help: help, label: label, children: map[string]*Gauge{}}
 	r.register(v)
 	return v
 }

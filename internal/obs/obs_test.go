@@ -78,6 +78,30 @@ func TestRegistryExposition(t *testing.T) {
 	}
 }
 
+func TestGaugeVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewGaugeVec("test_slot_busy_seconds", "busy time", "slot")
+	v.With("1").Set(2.5)
+	v.With("0").Add(1.25)
+	v.With("0").Add(0.25)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP test_slot_busy_seconds busy time`,
+		`# TYPE test_slot_busy_seconds gauge`,
+		`test_slot_busy_seconds{slot="0"} 1.5`,
+		`test_slot_busy_seconds{slot="1"} 2.5`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got\n%s--- want\n%s", got, want)
+	}
+
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1) // no-op, no panic
+}
+
 func TestHistogramAddBuckets(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.NewHistogram("h", "", []float64{1, 2})
